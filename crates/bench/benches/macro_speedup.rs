@@ -1,0 +1,29 @@
+//! Criterion bench wrapping the Figure 8 macrobenchmarks (tiny inputs, two
+//! representative NIs) so `cargo bench` exercises the full machine model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cni_bench::run_workload;
+use cni_core::machine::MachineConfig;
+use cni_nic::taxonomy::NiKind;
+use cni_workloads::{Workload, WorkloadParams};
+
+fn bench_macros(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_macro");
+    group.sample_size(10);
+    let params = WorkloadParams::tiny();
+    for workload in [Workload::Spsolve, Workload::Gauss, Workload::Moldyn] {
+        for ni in [NiKind::Ni2w, NiKind::Cni16Qm] {
+            let cfg = MachineConfig::isca96(8, ni);
+            group.bench_with_input(
+                BenchmarkId::new(workload.name(), ni.to_string()),
+                &cfg,
+                |b, cfg| b.iter(|| run_workload(workload, cfg, &params)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_macros);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench wrapping the Figure 7 streaming-bandwidth microbenchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cni_core::machine::MachineConfig;
+use cni_core::micro::{stream_bandwidth, BandwidthParams};
+use cni_nic::taxonomy::NiKind;
+
+fn bench_bandwidth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_stream");
+    group.sample_size(10);
+    for ni in [NiKind::Ni2w, NiKind::Cni512Q, NiKind::Cni16Qm] {
+        let cfg = MachineConfig::isca96(2, ni);
+        for bytes in [64usize, 2048] {
+            group.bench_with_input(
+                BenchmarkId::new(ni.to_string(), bytes),
+                &(cfg.clone(), bytes),
+                |b, (cfg, bytes)| {
+                    b.iter(|| {
+                        stream_bandwidth(
+                            cfg,
+                            &BandwidthParams {
+                                message_bytes: *bytes,
+                                messages: 32,
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandwidth);
+criterion_main!(benches);

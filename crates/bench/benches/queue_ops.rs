@@ -1,0 +1,45 @@
+//! Criterion bench of the host-usable cachable queue (`cni_core::cq`)
+//! against `std::sync::mpsc`, exercising the same single-producer /
+//! single-consumer pattern the paper's CQs target.
+
+use std::sync::mpsc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cni_core::cq::cachable_queue;
+
+const MESSAGES: usize = 10_000;
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_cq");
+    group.sample_size(20);
+
+    group.bench_function("cachable_queue_ping_pong", |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = cachable_queue::<u64>(64);
+            let mut sum = 0u64;
+            for i in 0..MESSAGES as u64 {
+                tx.try_send(i).unwrap();
+                sum = sum.wrapping_add(rx.try_recv().unwrap());
+            }
+            sum
+        })
+    });
+
+    group.bench_function("std_mpsc_ping_pong", |b| {
+        b.iter(|| {
+            let (tx, rx) = mpsc::channel::<u64>();
+            let mut sum = 0u64;
+            for i in 0..MESSAGES as u64 {
+                tx.send(i).unwrap();
+                sum = sum.wrapping_add(rx.recv().unwrap());
+            }
+            sum
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerates Figure 8: macrobenchmark speedups over `NI2w` on the memory
+//! bus for (a) every NI on the memory bus, (b) every NI on the I/O bus and
+//! (c) the alternate-buses comparison.
+//!
+//! Run with `cargo run --release -p cni-bench --bin fig8 [quick|paper]`.
+//! `quick` uses tiny inputs, the default uses the scaled-down inputs from
+//! DESIGN.md and `paper` uses the full Table 3 input sizes (slow).
+
+use cni_bench::{fig8_alternate_buses, fig8_speedups, location_name, MacroResult};
+use cni_mem::system::DeviceLocation;
+use cni_workloads::{Workload, WorkloadParams};
+
+fn print_panel(title: &str, results: &[MacroResult]) {
+    println!("\n=== {title} ===");
+    if results.is_empty() {
+        return;
+    }
+    print!("{:>10}", "benchmark");
+    for (ni, _, _) in &results[0].rows {
+        print!("{:>12}", ni.to_string());
+    }
+    println!("   (speedup over NI2w on the memory bus)");
+    for r in results {
+        print!("{:>10}", r.workload.to_string());
+        for (_, _, speedup) in &r.rows {
+            print!("{speedup:>12.2}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let (params, nodes) = match arg.as_str() {
+        "quick" => (WorkloadParams::tiny(), 8),
+        "paper" => (WorkloadParams::paper(), 16),
+        _ => (WorkloadParams::scaled(), 16),
+    };
+    let workloads = Workload::ALL;
+
+    println!("Figure 8: macrobenchmark speedups ({nodes} nodes)");
+
+    let mem = fig8_speedups(DeviceLocation::MemoryBus, nodes, &params, &workloads);
+    print_panel(
+        &format!("(a) {}", location_name(DeviceLocation::MemoryBus)),
+        &mem,
+    );
+
+    let io = fig8_speedups(DeviceLocation::IoBus, nodes, &params, &workloads);
+    print_panel(&format!("(b) {}", location_name(DeviceLocation::IoBus)), &io);
+
+    let alt = fig8_alternate_buses(nodes, &params, &workloads);
+    print_panel("(c) alternate buses (NI2w/cache, CNI16Qm/memory, CNI512Q/I/O)", &alt);
+
+    // Paper-style summary lines (§5.2): best CNI improvement ranges.
+    let best_range = |results: &[MacroResult], ni: cni_nic::taxonomy::NiKind| {
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for r in results {
+            if let Some(s) = r.speedup_of(ni) {
+                lo = lo.min((s - 1.0) * 100.0);
+                hi = hi.max((s - 1.0) * 100.0);
+            }
+        }
+        (lo, hi)
+    };
+    let (lo, hi) = best_range(&mem, cni_nic::taxonomy::NiKind::Cni16Qm);
+    println!("\nCNI16Qm improvement over NI2w on the memory bus: {lo:.0}%..{hi:.0}% (paper: 17-53%)");
+    let (lo, hi) = best_range(&io, cni_nic::taxonomy::NiKind::Cni512Q);
+    println!("CNI512Q improvement over NI2w-on-memory-bus when both sit on the I/O bus: {lo:.0}%..{hi:.0}%");
+}

@@ -1,0 +1,56 @@
+//! Regenerates the §5.2 memory-bus occupancy comparison: CQ-based CNIs cut
+//! memory-bus occupancy by up to ~66 % (averaged over the macrobenchmarks)
+//! relative to `NI2w`, while `CNI4` — which still polls across the bus —
+//! saves only ~23 %.
+//!
+//! Run with `cargo run --release -p cni-bench --bin occupancy [quick]`.
+
+use std::collections::BTreeMap;
+
+use cni_bench::occupancy_table;
+use cni_mem::timing::TimingConfig;
+use cni_nic::taxonomy::NiKind;
+use cni_workloads::{Workload, WorkloadParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    let (params, nodes) = if quick {
+        (WorkloadParams::tiny(), 8)
+    } else {
+        (WorkloadParams::scaled(), 16)
+    };
+
+    println!("Table 2 cost model in use (processor cycles):");
+    let t = TimingConfig::isca96();
+    println!("  uncached 8-byte load   mem {:>3}  I/O {:>3}", t.uncached_load_memory_bus, t.uncached_load_io_bus);
+    println!("  uncached 8-byte store  mem {:>3}  I/O {:>3}", t.uncached_store_memory_bus, t.uncached_store_io_bus);
+    println!("  64-byte CNI->CPU       mem {:>3}  I/O {:>3}", t.c2c_from_device_memory_bus, t.c2c_from_device_io_bus);
+    println!("  64-byte CPU->CNI       mem {:>3}  I/O {:>3}", t.c2c_to_device_memory_bus, t.c2c_to_device_io_bus);
+    println!("  64-byte memory<->cache mem {:>3}", t.memory_transfer);
+
+    println!("\nMemory-bus occupancy on the memory bus ({nodes} nodes):");
+    let rows = occupancy_table(nodes, &params, &Workload::ALL);
+
+    println!(
+        "{:>10} {:>10} {:>16} {:>14} {:>14}",
+        "benchmark", "NI", "busy cycles", "run cycles", "vs NI2w"
+    );
+    let mut reductions: BTreeMap<NiKind, Vec<f64>> = BTreeMap::new();
+    for row in &rows {
+        println!(
+            "{:>10} {:>10} {:>16} {:>14} {:>13.0}%",
+            row.workload.to_string(),
+            row.ni.to_string(),
+            row.busy_cycles,
+            row.total_cycles,
+            row.reduction_vs_ni2w * 100.0
+        );
+        reductions.entry(row.ni).or_default().push(row.reduction_vs_ni2w);
+    }
+
+    println!("\nAverage occupancy reduction vs NI2w (paper: ~23% for CNI4, up to ~66% for CQ-based CNIs):");
+    for (ni, values) in reductions {
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        println!("  {:>10}: {:>5.0}%", ni.to_string(), avg * 100.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Prints Table 1 (the NI taxonomy) and the qualitative Table 4 comparison
+//! notes.
+//!
+//! Run with `cargo run --release -p cni-bench --bin taxonomy`.
+
+use cni_bench::taxonomy_table;
+use cni_nic::taxonomy::{QueueHome, QueuePointers};
+
+fn main() {
+    println!("Table 1: summary of network interface devices");
+    println!(
+        "{:>10} {:>22} {:>12} {:>14}",
+        "NI/CNI", "exposed queue size", "pointers", "home"
+    );
+    for spec in taxonomy_table() {
+        let exposed = match (spec.exposed_words, spec.exposed_blocks) {
+            (Some(w), _) => format!("{w} words"),
+            (_, Some(b)) => format!("{b} cache blocks"),
+            _ => "-".to_owned(),
+        };
+        let pointers = match spec.pointers {
+            QueuePointers::Implicit => "-",
+            QueuePointers::Explicit => "explicit",
+        };
+        let home = match spec.home {
+            QueueHome::Device => "device",
+            QueueHome::MainMemory => "main memory",
+        };
+        println!("{:>10} {:>22} {:>12} {:>14}", spec.label, exposed, pointers, home);
+    }
+
+    println!("\nTable 4 (qualitative): CNI vs other network interfaces");
+    println!("  CNI: coherent = yes, caching = yes, uniform interface = memory interface");
+    println!("  TMC CM-5, Alewife, FUGU: uncached NIs, no caching, no uniform interface");
+    println!("  Typhoon / FLASH / Meiko CS2: coherence possible, caching possible/no");
+    println!("  StarT-NG: L2-coprocessor NI, cachable but not coherent (explicit flush)");
+    println!("  SHRIMP: coherent via write-through; AP1000: sender-side cache DMA only");
+    println!("  DI multicomputer: uniform *network* interface rather than memory interface");
+}

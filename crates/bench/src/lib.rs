@@ -1,0 +1,407 @@
+//! Benchmark harness for regenerating every table and figure of the paper's
+//! evaluation (§5).
+//!
+//! The functions here are shared between the `fig6` / `fig7` / `fig8` /
+//! `occupancy` harness binaries and the Criterion benches. Each returns plain
+//! data structures so tests can assert on the *shape* of the results (who
+//! wins, by roughly how much) without parsing console output.
+//!
+//! | experiment | function | binary |
+//! |------------|----------|--------|
+//! | Figure 6 (round-trip latency)      | [`fig6_series`]       | `cargo run --release -p cni-bench --bin fig6` |
+//! | Figure 7 (bandwidth)               | [`fig7_series`]       | `cargo run --release -p cni-bench --bin fig7` |
+//! | Figure 8 (macrobenchmark speedups) | [`fig8_speedups`]     | `cargo run --release -p cni-bench --bin fig8` |
+//! | §5.2 bus-occupancy reduction       | [`occupancy_table`]   | `cargo run --release -p cni-bench --bin occupancy` |
+//! | Table 1 (taxonomy)                 | [`taxonomy_table`]    | `cargo run --release -p cni-bench --bin taxonomy` |
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+use cni_core::machine::{Machine, MachineConfig};
+use cni_core::micro::{
+    round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams,
+};
+use cni_mem::system::DeviceLocation;
+use cni_nic::taxonomy::{NiKind, NiSpec};
+use cni_sim::time::Cycle;
+use cni_workloads::{Workload, WorkloadParams};
+
+/// The message sizes swept by Figure 6 (bytes).
+pub const FIG6_SIZES: [usize; 6] = [8, 16, 32, 64, 128, 256];
+
+/// The message sizes swept by Figure 7 (bytes).
+pub const FIG7_SIZES: [usize; 7] = [8, 32, 64, 256, 512, 2048, 4096];
+
+/// One measured series (one NI on one bus).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Network interface.
+    pub ni: NiKind,
+    /// Where the NI sits.
+    pub location: DeviceLocation,
+    /// Whether data snarfing was enabled (Figure 7a's extra series).
+    pub snarfing: bool,
+    /// `(message bytes, value)` points; the value is microseconds for
+    /// Figure 6 and relative bandwidth for Figure 7.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Label matching the paper's figures.
+    pub fn label(&self) -> String {
+        let base = format!("{} ({})", self.ni, location_name(self.location));
+        if self.snarfing {
+            format!("{base} + snarf")
+        } else {
+            base
+        }
+    }
+}
+
+/// Human-readable bus name.
+pub fn location_name(location: DeviceLocation) -> &'static str {
+    match location {
+        DeviceLocation::CacheBus => "cache bus",
+        DeviceLocation::MemoryBus => "memory bus",
+        DeviceLocation::IoBus => "I/O bus",
+    }
+}
+
+/// The set of NIs the paper evaluates on a given bus (§5: all five on the
+/// memory bus, all but `CNI16Qm` on the I/O bus, only `NI2w` on the cache
+/// bus).
+pub fn ni_set_for(location: DeviceLocation) -> Vec<NiKind> {
+    match location {
+        DeviceLocation::MemoryBus => NiKind::ALL.to_vec(),
+        DeviceLocation::IoBus => NiKind::ALL
+            .into_iter()
+            .filter(|&k| k != NiKind::Cni16Qm)
+            .collect(),
+        DeviceLocation::CacheBus => vec![NiKind::Ni2w],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: round-trip latency
+// ---------------------------------------------------------------------------
+
+/// Measures the Figure 6 latency series for every NI on `location`.
+pub fn fig6_series(location: DeviceLocation, sizes: &[usize], iterations: usize) -> Vec<Series> {
+    ni_set_for(location)
+        .into_iter()
+        .map(|ni| {
+            let cfg = MachineConfig::for_bus(2, ni, location);
+            let points = sizes
+                .iter()
+                .map(|&bytes| {
+                    let report = round_trip_latency(
+                        &cfg,
+                        &LatencyParams {
+                            message_bytes: bytes,
+                            iterations,
+                        },
+                    );
+                    (bytes, report.round_trip_micros)
+                })
+                .collect();
+            Series {
+                ni,
+                location,
+                snarfing: false,
+                points,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: bandwidth
+// ---------------------------------------------------------------------------
+
+/// Measures the Figure 7 bandwidth series (relative to the two-processor
+/// local-queue maximum) for every NI on `location`. On the memory bus the
+/// `CNI16Qm + snarfing` series of Figure 7a is included as well.
+pub fn fig7_series(location: DeviceLocation, sizes: &[usize], messages: usize) -> Vec<Series> {
+    let mut series: Vec<Series> = ni_set_for(location)
+        .into_iter()
+        .map(|ni| {
+            let cfg = MachineConfig::for_bus(2, ni, location);
+            Series {
+                ni,
+                location,
+                snarfing: false,
+                points: bandwidth_points(&cfg, sizes, messages),
+            }
+        })
+        .collect();
+    if location == DeviceLocation::MemoryBus {
+        let cfg = MachineConfig::for_bus(2, NiKind::Cni16Qm, location).with_snarfing();
+        series.push(Series {
+            ni: NiKind::Cni16Qm,
+            location,
+            snarfing: true,
+            points: bandwidth_points(&cfg, sizes, messages),
+        });
+    }
+    series
+}
+
+fn bandwidth_points(cfg: &MachineConfig, sizes: &[usize], messages: usize) -> Vec<(usize, f64)> {
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let report = stream_bandwidth(
+                cfg,
+                &BandwidthParams {
+                    message_bytes: bytes,
+                    messages,
+                },
+            );
+            (bytes, report.relative)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: macrobenchmark speedups
+// ---------------------------------------------------------------------------
+
+/// One macrobenchmark's results on one bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacroResult {
+    /// The benchmark.
+    pub workload: Workload,
+    /// Where the NIs sit.
+    pub location: DeviceLocation,
+    /// `(NI, execution cycles, speedup over NI2w on the memory bus)`.
+    pub rows: Vec<(NiKind, Cycle, f64)>,
+}
+
+impl MacroResult {
+    /// The speedup of a particular NI, if measured.
+    pub fn speedup_of(&self, ni: NiKind) -> Option<f64> {
+        self.rows.iter().find(|(k, _, _)| *k == ni).map(|(_, _, s)| *s)
+    }
+}
+
+/// Runs one workload on one machine configuration and returns the execution
+/// time in cycles.
+pub fn run_workload(workload: Workload, cfg: &MachineConfig, params: &WorkloadParams) -> Cycle {
+    let programs = workload.programs(cfg.nodes, params);
+    let mut machine = Machine::new(cfg.clone(), programs);
+    let report = machine.run();
+    assert!(
+        report.completed,
+        "{workload} did not complete on {} ({})",
+        cfg.ni_kind,
+        location_name(cfg.device_location)
+    );
+    report.cycles
+}
+
+/// Measures Figure 8's speedups (normalised to `NI2w` on the memory bus) for
+/// every NI on `location`.
+pub fn fig8_speedups(
+    location: DeviceLocation,
+    nodes: usize,
+    params: &WorkloadParams,
+    workloads: &[Workload],
+) -> Vec<MacroResult> {
+    workloads
+        .iter()
+        .map(|&workload| {
+            let baseline = run_workload(
+                workload,
+                &MachineConfig::isca96(nodes, NiKind::Ni2w),
+                params,
+            );
+            let rows = ni_set_for(location)
+                .into_iter()
+                .map(|ni| {
+                    let cfg = MachineConfig::for_bus(nodes, ni, location);
+                    let cycles = run_workload(workload, &cfg, params);
+                    (ni, cycles, baseline as f64 / cycles as f64)
+                })
+                .collect();
+            MacroResult {
+                workload,
+                location,
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// The "alternate buses" comparison of Figure 8c: `NI2w` on the cache bus,
+/// `CNI16Qm` on the memory bus and `CNI512Q` on the I/O bus, all normalised
+/// to `NI2w` on the memory bus.
+pub fn fig8_alternate_buses(
+    nodes: usize,
+    params: &WorkloadParams,
+    workloads: &[Workload],
+) -> Vec<MacroResult> {
+    workloads
+        .iter()
+        .map(|&workload| {
+            let baseline = run_workload(
+                workload,
+                &MachineConfig::isca96(nodes, NiKind::Ni2w),
+                params,
+            );
+            let combos = [
+                (NiKind::Ni2w, DeviceLocation::CacheBus),
+                (NiKind::Cni16Qm, DeviceLocation::MemoryBus),
+                (NiKind::Cni512Q, DeviceLocation::IoBus),
+            ];
+            let rows = combos
+                .into_iter()
+                .map(|(ni, loc)| {
+                    let cfg = MachineConfig::for_bus(nodes, ni, loc);
+                    let cycles = run_workload(workload, &cfg, params);
+                    (ni, cycles, baseline as f64 / cycles as f64)
+                })
+                .collect();
+            MacroResult {
+                workload,
+                location: DeviceLocation::MemoryBus,
+                rows,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// §5.2: memory-bus occupancy
+// ---------------------------------------------------------------------------
+
+/// Memory-bus occupancy of one workload under one NI, plus the reduction
+/// relative to `NI2w`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyRow {
+    /// The benchmark.
+    pub workload: Workload,
+    /// The NI (all on the memory bus).
+    pub ni: NiKind,
+    /// Summed memory-bus busy cycles across nodes.
+    pub busy_cycles: Cycle,
+    /// Execution time in cycles.
+    pub total_cycles: Cycle,
+    /// Occupancy reduction relative to `NI2w` (0.23 ≈ the paper's 23 % for
+    /// CNI4, 0.66 ≈ the 66 % average for the CQ-based CNIs).
+    pub reduction_vs_ni2w: f64,
+}
+
+/// Measures the memory-bus occupancy table of §5.2 on the memory bus.
+pub fn occupancy_table(
+    nodes: usize,
+    params: &WorkloadParams,
+    workloads: &[Workload],
+) -> Vec<OccupancyRow> {
+    let mut rows = Vec::new();
+    for &workload in workloads {
+        let mut baseline_busy = None;
+        for ni in NiKind::ALL {
+            let cfg = MachineConfig::isca96(nodes, ni);
+            let programs = workload.programs(nodes, params);
+            let mut machine = Machine::new(cfg, programs);
+            let report = machine.run();
+            assert!(report.completed, "{workload} did not complete on {ni}");
+            // Occupancy is normalised per unit time so shorter runs are not
+            // unfairly credited.
+            let busy_rate = report.memory_bus_busy as f64 / report.cycles.max(1) as f64;
+            let baseline = *baseline_busy.get_or_insert(busy_rate);
+            rows.push(OccupancyRow {
+                workload,
+                ni,
+                busy_cycles: report.memory_bus_busy,
+                total_cycles: report.cycles,
+                reduction_vs_ni2w: 1.0 - busy_rate / baseline,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: taxonomy
+// ---------------------------------------------------------------------------
+
+/// Returns the Table 1 rows.
+pub fn taxonomy_table() -> Vec<NiSpec> {
+    NiKind::ALL.into_iter().map(NiKind::spec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ni_sets_match_the_papers_evaluation() {
+        assert_eq!(ni_set_for(DeviceLocation::MemoryBus).len(), 5);
+        assert_eq!(ni_set_for(DeviceLocation::IoBus).len(), 4);
+        assert!(!ni_set_for(DeviceLocation::IoBus).contains(&NiKind::Cni16Qm));
+        assert_eq!(ni_set_for(DeviceLocation::CacheBus), vec![NiKind::Ni2w]);
+    }
+
+    #[test]
+    fn taxonomy_table_has_five_rows() {
+        let t = taxonomy_table();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0].label, "NI2w");
+        assert_eq!(t[4].label, "CNI16Qm");
+    }
+
+    #[test]
+    fn series_labels_are_informative() {
+        let s = Series {
+            ni: NiKind::Cni16Qm,
+            location: DeviceLocation::MemoryBus,
+            snarfing: true,
+            points: vec![],
+        };
+        assert_eq!(s.label(), "CNI16Qm (memory bus) + snarf");
+    }
+
+    #[test]
+    fn fig6_shape_cnis_beat_ni2w_and_io_bus_is_slower() {
+        let sizes = [64usize];
+        let mem = fig6_series(DeviceLocation::MemoryBus, &sizes, 6);
+        let ni2w = mem.iter().find(|s| s.ni == NiKind::Ni2w).unwrap().points[0].1;
+        for s in mem.iter().filter(|s| s.ni != NiKind::Ni2w) {
+            assert!(
+                s.points[0].1 < ni2w,
+                "{} should have lower 64-byte latency than NI2w ({:.2} vs {:.2} µs)",
+                s.ni,
+                s.points[0].1,
+                ni2w
+            );
+        }
+        let io = fig6_series(DeviceLocation::IoBus, &sizes, 6);
+        let mem_cni = mem.iter().find(|s| s.ni == NiKind::Cni512Q).unwrap().points[0].1;
+        let io_cni = io.iter().find(|s| s.ni == NiKind::Cni512Q).unwrap().points[0].1;
+        assert!(io_cni > mem_cni, "the I/O bus must be slower than the memory bus");
+    }
+
+    #[test]
+    fn fig8_shape_on_a_small_machine() {
+        // gauss exercises the block-transfer advantage (2 KB broadcasts) that
+        // separates the CNIs from NI2w even at tiny input sizes; the
+        // fine-grain benchmarks need larger inputs before the gap opens up
+        // (see EXPERIMENTS.md).
+        let params = WorkloadParams::tiny();
+        let results = fig8_speedups(
+            DeviceLocation::MemoryBus,
+            4,
+            &params,
+            &[Workload::Gauss],
+        );
+        let r = &results[0];
+        let ni2w = r.speedup_of(NiKind::Ni2w).unwrap();
+        let qm = r.speedup_of(NiKind::Cni16Qm).unwrap();
+        let q16 = r.speedup_of(NiKind::Cni16Q).unwrap();
+        assert!((ni2w - 1.0).abs() < 1e-9, "the baseline must have speedup 1.0");
+        assert!(qm > 1.0, "CNI16Qm should speed gauss up (got {qm:.2})");
+        assert!(q16 > 1.0, "CNI16Q should speed gauss up (got {q16:.2})");
+    }
+}

@@ -1,0 +1,28 @@
+//! The paper's primary contribution, packaged as a reusable library.
+//!
+//! *Coherent Network Interfaces for Fine-Grain Communication* (Mukherjee,
+//! Falsafi, Hill, Wood — ISCA 1996) introduces two mechanisms for letting a
+//! network interface talk to a processor through ordinary cache coherence:
+//! **cachable device registers** (CDRs) and **cachable queues** (CQs)
+//! optimised with lazy pointers, message valid bits and sense reverse. This
+//! crate provides:
+//!
+//! * [`cq`] — a host-usable, cache-line-aligned single-producer
+//!   single-consumer queue implementing exactly the CQ algorithm (valid bits
+//!   + sense reverse + lazy shadow pointers), plus a single-slot CDR-style
+//!   channel. These run on real shared memory and are independently useful.
+//! * [`msg`] — the user-level messaging layer the simulated machines run:
+//!   active messages, fragmentation/reassembly to 256-byte network messages,
+//!   software buffering for overflow, and split-phase barriers.
+//! * [`machine`] — the full-machine simulation model: N nodes, each with a
+//!   processor, a 256 KB MOESI cache, one of the five NI devices, memory and
+//!   I/O buses and a shared network fabric with sliding-window flow control.
+//! * [`micro`] — the round-trip latency and bandwidth microbenchmarks of
+//!   Figures 6 and 7.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cq;
+pub mod machine;
+pub mod micro;
+pub mod msg;

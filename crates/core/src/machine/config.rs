@@ -1,0 +1,193 @@
+//! Machine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use cni_mem::system::DeviceLocation;
+use cni_mem::timing::TimingConfig;
+use cni_nic::cq_model::CqOptimizations;
+use cni_nic::taxonomy::NiKind;
+use cni_sim::time::Cycle;
+
+/// Configuration of a simulated parallel machine (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of nodes (the paper simulates 16).
+    pub nodes: usize,
+    /// Which network interface every node uses.
+    pub ni_kind: NiKind,
+    /// Which bus the NI sits on.
+    pub device_location: DeviceLocation,
+    /// Bus/coherence cost model (Table 2).
+    pub timing: TimingConfig,
+    /// Whether the processor cache snarfs device writebacks (§5.1.2).
+    pub snarfing: bool,
+    /// Cachable-queue optimisations (all on for the paper's configuration).
+    pub cq_opts: CqOptimizations,
+    /// Sliding-window size per destination (4 in the paper).
+    pub window: usize,
+    /// Processor cache capacity in bytes (256 KB in the paper).
+    pub proc_cache_bytes: usize,
+    /// Maximum messages the processor drains from the NI per scheduling step.
+    pub recv_batch: usize,
+    /// Cycles between retries when the receiving NI refuses a delivery
+    /// (models messages backing up into the network).
+    pub delivery_retry_interval: Cycle,
+    /// Hard stop for the simulation (guards against livelock in buggy
+    /// workloads).
+    pub max_cycles: Cycle,
+}
+
+impl MachineConfig {
+    /// The paper's configuration with the NI on the coherent memory bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn isca96(nodes: usize, ni_kind: NiKind) -> Self {
+        assert!(nodes > 0, "a machine needs at least one node");
+        MachineConfig {
+            nodes,
+            ni_kind,
+            device_location: DeviceLocation::MemoryBus,
+            timing: TimingConfig::isca96(),
+            snarfing: false,
+            cq_opts: CqOptimizations::default(),
+            window: 4,
+            proc_cache_bytes: 256 * 1024,
+            recv_batch: 8,
+            delivery_retry_interval: 64,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// The paper's configuration with the NI on the coherent I/O bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ni_kind` is `CNI16Qm`: main memory cannot be the home for
+    /// queues behind a coherent I/O bus (§2.3), so the paper does not
+    /// evaluate that combination and neither do we.
+    pub fn isca96_io(nodes: usize, ni_kind: NiKind) -> Self {
+        assert!(
+            ni_kind != NiKind::Cni16Qm,
+            "CNI16Qm cannot be implemented on a coherent I/O bus (§2.3)"
+        );
+        MachineConfig {
+            device_location: DeviceLocation::IoBus,
+            ..Self::isca96(nodes, ni_kind)
+        }
+    }
+
+    /// The `NI2w`-on-the-cache-bus upper-bound configuration used in the
+    /// "alternate buses" comparisons of Figures 6c, 7c and 8c.
+    pub fn isca96_cache_bus(nodes: usize) -> Self {
+        MachineConfig {
+            device_location: DeviceLocation::CacheBus,
+            ..Self::isca96(nodes, NiKind::Ni2w)
+        }
+    }
+
+    /// Convenience constructor dispatching on the bus name used in the
+    /// figures.
+    pub fn for_bus(nodes: usize, ni_kind: NiKind, location: DeviceLocation) -> Self {
+        match location {
+            DeviceLocation::MemoryBus => Self::isca96(nodes, ni_kind),
+            DeviceLocation::IoBus => Self::isca96_io(nodes, ni_kind),
+            DeviceLocation::CacheBus => {
+                assert!(
+                    ni_kind == NiKind::Ni2w,
+                    "only NI2w is evaluated on the cache bus"
+                );
+                Self::isca96_cache_bus(nodes)
+            }
+        }
+    }
+
+    /// Returns a copy with snarfing enabled (Figure 7a's `CNI16Qm + snarf`
+    /// series).
+    pub fn with_snarfing(mut self) -> Self {
+        self.snarfing = true;
+        self
+    }
+
+    /// Returns a copy with the given CQ optimisation settings (ablations).
+    pub fn with_cq_opts(mut self, opts: CqOptimizations) -> Self {
+        self.cq_opts = opts;
+        self
+    }
+
+    /// Returns a copy with a different cost model.
+    pub fn with_timing(mut self, timing: TimingConfig) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// The per-node memory-system configuration implied by this machine
+    /// configuration.
+    pub fn node_mem_config(&self) -> cni_mem::system::NodeMemConfig {
+        cni_mem::system::NodeMemConfig {
+            proc_cache_bytes: self.proc_cache_bytes,
+            device_cache_blocks: if self.device_location == DeviceLocation::CacheBus {
+                None
+            } else {
+                self.ni_kind.spec().device_cache_blocks
+            },
+            device_location: self.device_location,
+            timing: self.timing.clone(),
+            snarfing: self.snarfing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_machine_matches_the_paper() {
+        let cfg = MachineConfig::isca96(16, NiKind::Cni16Qm);
+        assert_eq!(cfg.nodes, 16);
+        assert_eq!(cfg.window, 4);
+        assert_eq!(cfg.proc_cache_bytes, 256 * 1024);
+        assert_eq!(cfg.device_location, DeviceLocation::MemoryBus);
+        assert!(!cfg.snarfing);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = MachineConfig::isca96(0, NiKind::Ni2w);
+    }
+
+    #[test]
+    #[should_panic(expected = "I/O bus")]
+    fn cni16qm_on_io_bus_is_rejected() {
+        let _ = MachineConfig::isca96_io(4, NiKind::Cni16Qm);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache bus")]
+    fn coherent_ni_on_cache_bus_is_rejected() {
+        let _ = MachineConfig::for_bus(4, NiKind::Cni4, DeviceLocation::CacheBus);
+    }
+
+    #[test]
+    fn node_mem_config_mirrors_the_taxonomy() {
+        let cfg = MachineConfig::isca96(2, NiKind::Cni512Q);
+        let mem = cfg.node_mem_config();
+        assert_eq!(mem.device_cache_blocks, Some(512));
+        let cfg = MachineConfig::isca96_cache_bus(2);
+        assert_eq!(cfg.node_mem_config().device_cache_blocks, None);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let cfg = MachineConfig::isca96(2, NiKind::Cni16Qm).with_snarfing();
+        assert!(cfg.snarfing);
+        assert!(cfg.node_mem_config().snarfing);
+        let mut opts = CqOptimizations::default();
+        opts.sense_reverse = false;
+        let cfg = cfg.with_cq_opts(opts);
+        assert!(!cfg.cq_opts.sense_reverse);
+    }
+}

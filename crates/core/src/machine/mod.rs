@@ -1,0 +1,597 @@
+//! The full-machine simulation model.
+//!
+//! A [`Machine`] is N nodes — each with a processor, a 256 KB MOESI cache,
+//! one of the five NI devices, a memory bus and (optionally) a coherent I/O
+//! bus — connected by the latency-only fabric of [`cni_net`] with
+//! per-destination sliding-window flow control. Workloads are [`Program`]s;
+//! the machine drives them with a discrete-event loop:
+//!
+//! * `ProcStep` events run a node's processor: drain the NI receive queue,
+//!   dispatch reassembled messages to the program, push buffered outgoing
+//!   fragments into the NI, and fall back to the program's idle hook.
+//! * `NetArrival` events deliver network messages to the destination NI
+//!   (refused deliveries are retried, modelling backpressure) and generate
+//!   acknowledgements for the sender's sliding window.
+//! * `AckArrival` events release window credits and trigger further
+//!   injections.
+//!
+//! Idle nodes do not spin in the event queue: they are woken by the next
+//! arrival, and the bus occupancy their uncached status polling would have
+//! generated is accounted in bulk (see
+//! [`cni_mem::system::NodeMemSystem::note_uncached_idle_polling`]).
+
+pub mod config;
+pub mod node;
+pub mod program;
+
+use cni_net::fabric::{Fabric, FabricStats};
+use cni_net::message::NodeId;
+use cni_nic::device::{DeliverOutcome, SendOutcome};
+use cni_nic::frag::FragRef;
+use cni_sim::event::EventQueue;
+use cni_sim::time::Cycle;
+
+use crate::msg::FragPayload;
+
+pub use config::MachineConfig;
+pub use node::{NodeCore, NodeStats};
+pub use program::{IdleProgram, ProcCtx, Program};
+
+/// Events the machine schedules.
+#[derive(Debug)]
+enum Event {
+    /// Run one scheduling step of a node's processor.
+    ProcStep(usize),
+    /// A network message arrives at a node's NI.
+    NetArrival(usize, FragPayload),
+    /// An acknowledgement for a message sent from `src` to `dst` arrives back
+    /// at `src`.
+    AckArrival { src: usize, dst: usize },
+    /// A previously refused delivery is retried.
+    DeliveryRetry(usize, FragPayload),
+}
+
+/// Summary of a completed (or aborted) run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Whether every program reported completion before `max_cycles`.
+    pub completed: bool,
+    /// The cycle at which the last program completed (or the abort time).
+    pub cycles: Cycle,
+    /// Memory-bus busy cycles summed over all nodes.
+    pub memory_bus_busy: Cycle,
+    /// I/O-bus busy cycles summed over all nodes.
+    pub io_bus_busy: Cycle,
+    /// Per-node memory-bus busy cycles.
+    pub memory_bus_busy_per_node: Vec<Cycle>,
+    /// Network traffic statistics.
+    pub fabric: FabricStats,
+    /// Per-node workload statistics.
+    pub node_stats: Vec<NodeStats>,
+}
+
+impl RunReport {
+    /// Average memory-bus utilisation across nodes over the run.
+    pub fn memory_bus_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.memory_bus_busy_per_node.is_empty() {
+            return 0.0;
+        }
+        let per_node: f64 = self
+            .memory_bus_busy_per_node
+            .iter()
+            .map(|&b| b as f64 / self.cycles as f64)
+            .sum();
+        per_node / self.memory_bus_busy_per_node.len() as f64
+    }
+}
+
+/// A simulated parallel machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    nodes: Vec<NodeCore>,
+    programs: Vec<Box<dyn Program>>,
+    events: EventQueue<Event>,
+    fabric: Fabric,
+    finished_at: Option<Cycle>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("nodes", &self.nodes.len())
+            .field("ni", &self.cfg.ni_kind)
+            .field("bus", &self.cfg.device_location)
+            .field("now", &self.events.now())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine running one program per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of programs differs from the number of nodes.
+    pub fn new(cfg: MachineConfig, programs: Vec<Box<dyn Program>>) -> Self {
+        assert_eq!(
+            programs.len(),
+            cfg.nodes,
+            "expected one program per node ({} nodes, {} programs)",
+            cfg.nodes,
+            programs.len()
+        );
+        let nodes = (0..cfg.nodes).map(|i| NodeCore::new(i, &cfg)).collect();
+        let fabric = Fabric::new(cfg.timing.network_latency);
+        Machine {
+            cfg,
+            nodes,
+            programs,
+            events: EventQueue::new(),
+            fabric,
+            finished_at: None,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Read access to a node's runtime state.
+    pub fn node(&self, index: usize) -> &NodeCore {
+        &self.nodes[index]
+    }
+
+    /// Downcasts a node's program to a concrete type (for reading results
+    /// after a run).
+    pub fn program_as<T: 'static>(&self, index: usize) -> Option<&T> {
+        self.programs[index].as_any().downcast_ref::<T>()
+    }
+
+    /// Network fabric statistics.
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+
+    /// Runs the machine until every program reports completion (or the
+    /// configured cycle limit is reached) and returns a report.
+    pub fn run(&mut self) -> RunReport {
+        // Kick every node off at cycle zero.
+        for idx in 0..self.nodes.len() {
+            self.schedule_step(idx, 0);
+        }
+
+        while let Some((now, event)) = self.events.pop() {
+            if now > self.cfg.max_cycles {
+                break;
+            }
+            match event {
+                Event::ProcStep(idx) => self.proc_step(idx, now),
+                Event::NetArrival(idx, frag) => self.deliver(idx, frag, now),
+                Event::AckArrival { src, dst } => self.handle_ack(src, dst, now),
+                Event::DeliveryRetry(idx, frag) => self.deliver(idx, frag, now),
+            }
+            if self.finished_at.is_none() && self.all_done() {
+                self.finished_at = Some(self.current_completion_time());
+                break;
+            }
+        }
+
+        self.report()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn schedule_step(&mut self, idx: usize, at: Cycle) {
+        let node = &mut self.nodes[idx];
+        if !node.step_scheduled {
+            node.step_scheduled = true;
+            let at = at.max(self.events.now());
+            self.events.schedule(at, Event::ProcStep(idx));
+        }
+    }
+
+    fn proc_step(&mut self, idx: usize, event_time: Cycle) {
+        // Temporarily take the program out so it can borrow the node through
+        // a `ProcCtx` without aliasing.
+        let mut program: Box<dyn Program> =
+            std::mem::replace(&mut self.programs[idx], Box::new(IdleProgram));
+        let node = &mut self.nodes[idx];
+        node.step_scheduled = false;
+        let mut t = event_time.max(node.proc_time);
+
+        // Account for the uncached status polling an idle processor would
+        // have performed (NI2w and CNI4 poll uncached registers; the CQ-based
+        // CNIs poll in their cache and generate no bus traffic).
+        if let Some(since) = node.idle_since.take() {
+            if !node.ni.kind().uses_explicit_queues() {
+                node.mem.note_uncached_idle_polling(t.saturating_sub(since));
+            }
+        }
+
+        if !node.started {
+            node.started = true;
+            let mut ctx = ProcCtx::new(node, t);
+            program.start(&mut ctx);
+            t = ctx.finish();
+        }
+
+        let mut did_work = false;
+
+        // 1. Drain the NI receive queue (bounded per step).
+        for _ in 0..self.cfg.recv_batch {
+            let poll = node.ni.proc_poll(t, &mut node.mem);
+            t = poll.done;
+            if !poll.available {
+                break;
+            }
+            let Some(rx) = node.ni.proc_receive(t, &mut node.mem) else {
+                break;
+            };
+            t = rx.done;
+            did_work = true;
+            node.stats.received_fragments += 1;
+            let payload = node.rx_tokens.take(rx.frag.token);
+            node.stats.received_bytes += payload.payload_bytes as u64;
+            if let Some(msg) = node.assembler.push(payload) {
+                node.inbox.push_back(msg);
+            }
+        }
+
+        // 2. Dispatch reassembled messages to the program.
+        for _ in 0..self.cfg.recv_batch {
+            let Some(msg) = node.inbox.pop_front() else {
+                break;
+            };
+            node.stats.received_messages += 1;
+            did_work = true;
+            let mut ctx = ProcCtx::new(node, t);
+            program.on_message(&mut ctx, msg);
+            t = ctx.finish();
+        }
+
+        // 3. Push buffered outgoing fragments into the NI until either the NI
+        //    fills or the sliding window for the head fragment's destination
+        //    is exhausted (§4.1: the *processor* blocks after four
+        //    unacknowledged network messages per destination and falls back
+        //    to draining receives).
+        while let Some(front) = node.outgoing.front() {
+            let dst = front.dst;
+            if !node.window.can_send(dst) {
+                node.stats.send_full_retries += 1;
+                break;
+            }
+            let payload = front.clone();
+            let token = node.tx_tokens.insert(payload.clone());
+            let frag = FragRef::new(token, payload.payload_bytes);
+            match node.ni.proc_send(t, &mut node.mem, frag) {
+                SendOutcome::Accepted { done } => {
+                    t = done;
+                    assert!(node.window.try_acquire(dst), "window checked above");
+                    node.outgoing.pop();
+                    node.stats.sent_fragments += 1;
+                    did_work = true;
+                }
+                SendOutcome::Full { done } => {
+                    t = done;
+                    node.tx_tokens.take(token);
+                    node.stats.send_full_retries += 1;
+                    break;
+                }
+            }
+        }
+
+        // 4. Idle hook when nothing else happened.
+        if !did_work && !program.is_done() {
+            let mut ctx = ProcCtx::new(node, t);
+            did_work = program.on_idle(&mut ctx);
+            t = ctx.finish();
+        }
+
+        node.proc_time = t;
+
+        // 5. Decide how this node continues.
+        let can_push_more = node
+            .outgoing
+            .front()
+            .map(|f| node.ni.send_has_room() && node.window.can_send(f.dst))
+            .unwrap_or(false);
+        let more_local_work =
+            !node.inbox.is_empty() || node.ni.recv_queue_len() > 0 || can_push_more;
+        let wants_step = did_work || more_local_work;
+        if wants_step {
+            // Borrow of `node` ends before scheduling.
+            let at = t;
+            self.programs[idx] = program;
+            self.schedule_step(idx, at);
+            self.try_inject(idx, at);
+            return;
+        }
+        node.idle_since = Some(t);
+        self.programs[idx] = program;
+        self.try_inject(idx, t);
+    }
+
+    fn try_inject(&mut self, idx: usize, now: Cycle) {
+        let mut wake_at = None;
+        {
+            let node = &mut self.nodes[idx];
+            let src = node.id;
+            // The NI injects whatever sits in its send queue: window admission
+            // already happened when the processor handed the fragment to the
+            // NI, so there is no head-of-line blocking here.
+            while node.ni.peek_send().is_some() {
+                let (ready, frag) = node
+                    .ni
+                    .device_take_for_injection(now, &mut node.mem)
+                    .expect("peeked fragment must be injectable");
+                let payload = node.tx_tokens.take(frag.token);
+                let dst = payload.dst;
+                let delivery =
+                    self.fabric
+                        .send(ready, src, dst, frag.payload_bytes, payload);
+                self.events.schedule(
+                    delivery.arrives_at,
+                    Event::NetArrival(dst.index(), delivery.message.payload),
+                );
+            }
+            // Freed send-queue space may unblock a node that went idle with
+            // buffered fragments.
+            if node.idle_since.is_some() && !node.outgoing.is_empty() && node.ni.send_has_room() {
+                wake_at = Some(now);
+            }
+        }
+        if let Some(at) = wake_at {
+            self.schedule_step(idx, at);
+        }
+    }
+
+    fn deliver(&mut self, idx: usize, frag: FragPayload, now: Cycle) {
+        let src_index = frag.src.index();
+        let (outcome, wake_at) = {
+            let node = &mut self.nodes[idx];
+            let token = node.rx_tokens.insert(frag.clone());
+            let frag_ref = FragRef::new(token, frag.payload_bytes);
+            match node.ni.device_deliver(now, &mut node.mem, frag_ref) {
+                DeliverOutcome::Accepted { done } => {
+                    let wake = node.idle_since.is_some().then_some(done);
+                    (Some(done), wake)
+                }
+                DeliverOutcome::Refused => {
+                    node.rx_tokens.take(token);
+                    (None, None)
+                }
+            }
+        };
+        match outcome {
+            Some(done) => {
+                // Acknowledge back to the sender's sliding window.
+                self.events.schedule(
+                    self.fabric.ack_arrival(done),
+                    Event::AckArrival {
+                        src: src_index,
+                        dst: idx,
+                    },
+                );
+                if let Some(at) = wake_at {
+                    self.schedule_step(idx, at);
+                }
+            }
+            None => {
+                // Backpressure: the message waits in the network and the
+                // delivery is retried.
+                self.events.schedule(
+                    now + self.cfg.delivery_retry_interval,
+                    Event::DeliveryRetry(idx, frag),
+                );
+            }
+        }
+    }
+
+    fn handle_ack(&mut self, src: usize, dst: usize, now: Cycle) {
+        let wake = {
+            let node = &mut self.nodes[src];
+            node.window.release(NodeId(dst));
+            // A sender that blocked on the window wakes up to resume pushing
+            // its buffered fragments.
+            node.idle_since.is_some() && !node.outgoing.is_empty()
+        };
+        if wake {
+            self.schedule_step(src, now);
+        }
+        self.try_inject(src, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Completion and reporting
+    // ------------------------------------------------------------------
+
+    fn all_done(&self) -> bool {
+        self.programs.iter().all(|p| p.is_done())
+            && self.nodes.iter().all(|n| n.is_quiescent())
+    }
+
+    fn current_completion_time(&self) -> Cycle {
+        self.nodes
+            .iter()
+            .map(|n| n.proc_time)
+            .max()
+            .unwrap_or(0)
+            .max(self.events.now())
+    }
+
+    fn report(&self) -> RunReport {
+        let cycles = self.finished_at.unwrap_or_else(|| self.current_completion_time());
+        let memory_bus_busy_per_node: Vec<Cycle> = self
+            .nodes
+            .iter()
+            .map(|n| n.mem.memory_bus().busy_cycles())
+            .collect();
+        RunReport {
+            completed: self.finished_at.is_some(),
+            cycles,
+            memory_bus_busy: memory_bus_busy_per_node.iter().sum(),
+            io_bus_busy: self.nodes.iter().map(|n| n.mem.io_bus().busy_cycles()).sum(),
+            memory_bus_busy_per_node,
+            fabric: self.fabric.stats(),
+            node_stats: self.nodes.iter().map(|n| n.stats).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::AmMessage;
+    use cni_nic::taxonomy::NiKind;
+    use std::any::Any;
+
+    /// Sends `count` small messages to node 1 and completes.
+    struct Pitcher {
+        count: usize,
+        sent: usize,
+    }
+
+    impl Program for Pitcher {
+        fn start(&mut self, _ctx: &mut ProcCtx<'_>) {}
+        fn on_message(&mut self, _ctx: &mut ProcCtx<'_>, _msg: AmMessage) {}
+        fn on_idle(&mut self, ctx: &mut ProcCtx<'_>) -> bool {
+            if self.sent < self.count {
+                ctx.send_am(NodeId(1), 1, 12, vec![self.sent as u64]);
+                self.sent += 1;
+                true
+            } else {
+                false
+            }
+        }
+        fn is_done(&self) -> bool {
+            self.sent >= self.count
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Counts messages until it has seen `expect` of them.
+    struct Catcher {
+        expect: usize,
+        got: usize,
+        last_value: u64,
+    }
+
+    impl Program for Catcher {
+        fn start(&mut self, _ctx: &mut ProcCtx<'_>) {}
+        fn on_message(&mut self, _ctx: &mut ProcCtx<'_>, msg: AmMessage) {
+            self.got += 1;
+            self.last_value = msg.data.first().copied().unwrap_or(0);
+        }
+        fn on_idle(&mut self, _ctx: &mut ProcCtx<'_>) -> bool {
+            false
+        }
+        fn is_done(&self) -> bool {
+            self.got >= self.expect
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn run_pitch_catch(kind: NiKind, count: usize) -> (Machine, RunReport) {
+        let cfg = MachineConfig::isca96(2, kind);
+        let programs: Vec<Box<dyn Program>> = vec![
+            Box::new(Pitcher { count, sent: 0 }),
+            Box::new(Catcher {
+                expect: count,
+                got: 0,
+                last_value: 0,
+            }),
+        ];
+        let mut machine = Machine::new(cfg, programs);
+        let report = machine.run();
+        (machine, report)
+    }
+
+    #[test]
+    fn messages_flow_end_to_end_on_every_ni() {
+        for kind in NiKind::ALL {
+            let (machine, report) = run_pitch_catch(kind, 20);
+            assert!(report.completed, "{kind}: run did not complete");
+            let catcher = machine.program_as::<Catcher>(1).unwrap();
+            assert_eq!(catcher.got, 20, "{kind}: lost messages");
+            assert_eq!(catcher.last_value, 19, "{kind}: messages out of order");
+            assert_eq!(report.fabric.messages, 20, "{kind}: unexpected fabric traffic");
+            assert!(report.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn coherent_nis_use_less_memory_bus_than_ni2w() {
+        let (_, ni2w) = run_pitch_catch(NiKind::Ni2w, 50);
+        let (_, cni) = run_pitch_catch(NiKind::Cni16Qm, 50);
+        assert!(
+            cni.memory_bus_busy < ni2w.memory_bus_busy,
+            "CNI ({}) should occupy the memory bus less than NI2w ({})",
+            cni.memory_bus_busy,
+            ni2w.memory_bus_busy
+        );
+    }
+
+    #[test]
+    fn cni_finishes_the_stream_faster_than_ni2w() {
+        let (_, ni2w) = run_pitch_catch(NiKind::Ni2w, 50);
+        let (_, cni) = run_pitch_catch(NiKind::Cni512Q, 50);
+        assert!(
+            cni.cycles < ni2w.cycles,
+            "CNI512Q ({}) should beat NI2w ({})",
+            cni.cycles,
+            ni2w.cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one program per node")]
+    fn program_count_must_match_node_count() {
+        let cfg = MachineConfig::isca96(2, NiKind::Ni2w);
+        let _ = Machine::new(cfg, vec![Box::new(IdleProgram)]);
+    }
+
+    #[test]
+    fn local_sends_complete_without_network_traffic() {
+        struct LocalTalker {
+            done: bool,
+        }
+        impl Program for LocalTalker {
+            fn start(&mut self, ctx: &mut ProcCtx<'_>) {
+                ctx.send_am(ctx.node_id(), 5, 32, vec![1]);
+            }
+            fn on_message(&mut self, _ctx: &mut ProcCtx<'_>, msg: AmMessage) {
+                assert_eq!(msg.handler, 5);
+                self.done = true;
+            }
+            fn on_idle(&mut self, _ctx: &mut ProcCtx<'_>) -> bool {
+                false
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let cfg = MachineConfig::isca96(1, NiKind::Cni16Qm);
+        let mut machine = Machine::new(cfg, vec![Box::new(LocalTalker { done: false })]);
+        let report = machine.run();
+        assert!(report.completed);
+        assert_eq!(report.fabric.messages, 0);
+        assert_eq!(report.node_stats[0].local_messages, 1);
+    }
+
+    #[test]
+    fn report_utilization_is_bounded() {
+        let (_, report) = run_pitch_catch(NiKind::Ni2w, 10);
+        let u = report.memory_bus_utilization();
+        assert!((0.0..=1.0).contains(&u), "utilisation {u} out of range");
+    }
+}

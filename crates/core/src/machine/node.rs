@@ -1,0 +1,170 @@
+//! Per-node runtime state.
+
+use std::collections::VecDeque;
+
+use cni_mem::addr::RegionAllocator;
+use cni_mem::system::{DeviceLocation, NodeMemSystem};
+use cni_net::message::NodeId;
+use cni_net::window::SlidingWindow;
+use cni_nic::cdr::Cni4Device;
+use cni_nic::cniq::CniQDevice;
+use cni_nic::device::NiDevice;
+use cni_nic::ni2w::Ni2wDevice;
+use cni_nic::taxonomy::NiKind;
+use cni_sim::time::Cycle;
+
+use crate::msg::{AmMessage, Assembler, OutgoingBuffer, TokenTable};
+
+use super::config::MachineConfig;
+
+/// Statistics one node collects over a run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStats {
+    /// User messages sent by the program.
+    pub sent_messages: u64,
+    /// User payload bytes sent by the program.
+    pub sent_bytes: u64,
+    /// Fragments handed to the NI.
+    pub sent_fragments: u64,
+    /// Fragments received from the NI.
+    pub received_fragments: u64,
+    /// User messages delivered to the program.
+    pub received_messages: u64,
+    /// User payload bytes delivered to the program.
+    pub received_bytes: u64,
+    /// Cycles the program spent in explicit computation.
+    pub compute_cycles: Cycle,
+    /// Times a processor-side send found the NI full and had to back off.
+    pub send_full_retries: u64,
+    /// Messages sent node-locally (same interface, no network).
+    pub local_messages: u64,
+}
+
+/// The runtime state of one simulated node.
+pub struct NodeCore {
+    /// Node identity.
+    pub id: NodeId,
+    /// Number of nodes in the machine (exposed to programs).
+    pub num_nodes: usize,
+    /// The node's memory system (caches, buses, bridge).
+    pub mem: NodeMemSystem,
+    /// The node's network interface.
+    pub ni: Box<dyn NiDevice>,
+    /// Sliding-window flow control for outgoing network messages.
+    pub window: SlidingWindow,
+    /// Fragments currently inside the NI send queue, keyed by token.
+    pub tx_tokens: TokenTable,
+    /// Fragments currently inside the NI receive queue, keyed by token.
+    pub rx_tokens: TokenTable,
+    /// Reassembly state for incoming fragments.
+    pub assembler: Assembler,
+    /// Software-buffered outgoing fragments not yet accepted by the NI.
+    pub outgoing: OutgoingBuffer,
+    /// Fully reassembled messages waiting to be dispatched to the program.
+    pub inbox: VecDeque<AmMessage>,
+    /// The processor's local time.
+    pub proc_time: Cycle,
+    /// Set while the node is idle (waiting for messages); holds the time the
+    /// node went idle so uncached-polling occupancy can be accounted.
+    pub idle_since: Option<Cycle>,
+    /// Whether a `ProcStep` event is already pending for this node.
+    pub step_scheduled: bool,
+    /// Whether the program's `start` hook has run.
+    pub started: bool,
+    /// Next per-sender user-message id.
+    pub next_msg_id: u64,
+    /// Statistics.
+    pub stats: NodeStats,
+}
+
+impl std::fmt::Debug for NodeCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeCore")
+            .field("id", &self.id)
+            .field("ni", &self.ni.kind())
+            .field("proc_time", &self.proc_time)
+            .field("outgoing", &self.outgoing.len())
+            .field("inbox", &self.inbox.len())
+            .finish()
+    }
+}
+
+/// Builds the NI device implied by the machine configuration.
+fn build_ni(cfg: &MachineConfig) -> Box<dyn NiDevice> {
+    let mut alloc = RegionAllocator::new();
+    match cfg.ni_kind {
+        NiKind::Ni2w => Box::new(Ni2wDevice::new()),
+        NiKind::Cni4 => Box::new(Cni4Device::new(&mut alloc)),
+        NiKind::Cni16Q | NiKind::Cni512Q | NiKind::Cni16Qm => Box::new(
+            CniQDevice::with_optimizations(cfg.ni_kind, &mut alloc, cfg.cq_opts),
+        ),
+    }
+}
+
+impl NodeCore {
+    /// Creates the runtime state for node `index` of a machine.
+    pub fn new(index: usize, cfg: &MachineConfig) -> Self {
+        assert!(
+            cfg.device_location != DeviceLocation::CacheBus || cfg.ni_kind == NiKind::Ni2w,
+            "only NI2w is modelled on the cache bus"
+        );
+        NodeCore {
+            id: NodeId(index),
+            num_nodes: cfg.nodes,
+            mem: NodeMemSystem::new(cfg.node_mem_config()),
+            ni: build_ni(cfg),
+            window: SlidingWindow::new(cfg.window),
+            tx_tokens: TokenTable::new(),
+            rx_tokens: TokenTable::new(),
+            assembler: Assembler::new(),
+            outgoing: OutgoingBuffer::new(),
+            inbox: VecDeque::new(),
+            proc_time: 0,
+            idle_since: None,
+            step_scheduled: false,
+            started: false,
+            next_msg_id: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Whether the node has nothing left to do locally (its program may still
+    /// be waiting for remote messages).
+    pub fn is_quiescent(&self) -> bool {
+        self.outgoing.is_empty()
+            && self.inbox.is_empty()
+            && self.ni.send_queue_len() == 0
+            && self.ni.recv_queue_len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_get_the_configured_ni() {
+        for kind in NiKind::ALL {
+            let cfg = MachineConfig::isca96(4, kind);
+            let node = NodeCore::new(2, &cfg);
+            assert_eq!(node.ni.kind(), kind);
+            assert_eq!(node.id, NodeId(2));
+            assert_eq!(node.num_nodes, 4);
+            assert!(node.is_quiescent());
+        }
+    }
+
+    #[test]
+    fn io_bus_nodes_route_device_accesses_through_the_bridge() {
+        let cfg = MachineConfig::isca96_io(2, NiKind::Cni512Q);
+        let node = NodeCore::new(0, &cfg);
+        assert_eq!(node.mem.device_location(), DeviceLocation::IoBus);
+    }
+
+    #[test]
+    fn cache_bus_nodes_have_no_device_cache() {
+        let cfg = MachineConfig::isca96_cache_bus(2);
+        let node = NodeCore::new(0, &cfg);
+        assert!(node.mem.device_cache().is_none());
+    }
+}

@@ -1,0 +1,867 @@
+//! Per-node memory system: processor cache + device cache + buses + bridge.
+//!
+//! [`NodeMemSystem`] is the substrate the NI device models drive. Every
+//! processor-side and device-side access is decomposed into MOESI state
+//! changes (handled by [`crate::moesi::Cache`]) and bus transactions (charged
+//! on [`crate::bus::Bus`] timelines using the Table 2 occupancies in
+//! [`crate::timing::TimingConfig`]).
+//!
+//! There is one `NodeMemSystem` per simulated node. The two caches it manages
+//! are the 256 KB processor cache and, for coherent NIs, the CNI device
+//! cache; uncached NIs (`NI2w`) have no device cache and only use the
+//! uncached-access operations.
+
+use serde::{Deserialize, Serialize};
+
+use cni_sim::time::Cycle;
+
+use crate::addr::{BlockAddr, BlockHome};
+use crate::bridge::{Bridge, BridgeInitiator, BridgeMode, BridgeStats};
+use crate::bus::{Bus, BusKind};
+use crate::moesi::{AccessOutcome, Cache, MoesiState};
+use crate::timing::TimingConfig;
+
+/// Where the NI device lives in the node (§1, §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceLocation {
+    /// On the processor's cache bus (uncached accesses only; used for the
+    /// `NI2w` upper-bound configuration).
+    CacheBus,
+    /// On the coherent memory bus.
+    MemoryBus,
+    /// On the coherent I/O bus, reached through the bridge.
+    IoBus,
+}
+
+impl DeviceLocation {
+    /// The bus kind used for timing lookups of device accesses.
+    pub fn bus_kind(self) -> BusKind {
+        match self {
+            DeviceLocation::CacheBus => BusKind::CacheBus,
+            DeviceLocation::MemoryBus => BusKind::MemoryBus,
+            DeviceLocation::IoBus => BusKind::IoBus,
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceLocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.bus_kind())
+    }
+}
+
+/// Configuration of a node's memory system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeMemConfig {
+    /// Processor cache capacity in bytes (256 KB in the paper).
+    pub proc_cache_bytes: usize,
+    /// Device (CNI) cache capacity in 64-byte blocks; `None` for uncached NIs.
+    pub device_cache_blocks: Option<usize>,
+    /// Where the device sits.
+    pub device_location: DeviceLocation,
+    /// Cost model.
+    pub timing: TimingConfig,
+    /// Whether the processor cache snarfs device writebacks it observes on
+    /// the memory bus (§5.1.2).
+    pub snarfing: bool,
+}
+
+impl Default for NodeMemConfig {
+    fn default() -> Self {
+        NodeMemConfig {
+            proc_cache_bytes: 256 * 1024,
+            device_cache_blocks: Some(16),
+            device_location: DeviceLocation::MemoryBus,
+            timing: TimingConfig::isca96(),
+            snarfing: false,
+        }
+    }
+}
+
+/// The per-node memory system.
+#[derive(Debug, Clone)]
+pub struct NodeMemSystem {
+    cfg: NodeMemConfig,
+    proc_cache: Cache,
+    dev_cache: Option<Cache>,
+    memory_bus: Bus,
+    io_bus: Bus,
+    bridge: Bridge,
+}
+
+impl NodeMemSystem {
+    /// Builds a memory system from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a device cache is configured for a cache-bus device (the
+    /// cache bus carries no coherent transactions in this study).
+    pub fn new(cfg: NodeMemConfig) -> Self {
+        if cfg.device_location == DeviceLocation::CacheBus {
+            assert!(
+                cfg.device_cache_blocks.is_none(),
+                "cache-bus NIs are uncached; they cannot have a coherent device cache"
+            );
+        }
+        let proc_cache = Cache::new("proc", cfg.proc_cache_bytes);
+        let dev_cache = cfg
+            .device_cache_blocks
+            .map(|blocks| Cache::new("device", blocks * crate::addr::CACHE_BLOCK_BYTES));
+        NodeMemSystem {
+            proc_cache,
+            dev_cache,
+            memory_bus: Bus::new(BusKind::MemoryBus),
+            io_bus: Bus::new(BusKind::IoBus),
+            bridge: Bridge::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &NodeMemConfig {
+        &self.cfg
+    }
+
+    /// The cost model in use.
+    pub fn timing(&self) -> &TimingConfig {
+        &self.cfg.timing
+    }
+
+    /// Where the device sits.
+    pub fn device_location(&self) -> DeviceLocation {
+        self.cfg.device_location
+    }
+
+    /// Processor-cache coherence state of `block`.
+    pub fn proc_state(&self, block: BlockAddr) -> MoesiState {
+        self.proc_cache.lookup(block)
+    }
+
+    /// Device-cache coherence state of `block` (Invalid if there is no device
+    /// cache).
+    pub fn device_state(&self, block: BlockAddr) -> MoesiState {
+        self.dev_cache
+            .as_ref()
+            .map(|c| c.lookup(block))
+            .unwrap_or(MoesiState::Invalid)
+    }
+
+    /// Read-only access to the processor cache (statistics).
+    pub fn proc_cache(&self) -> &Cache {
+        &self.proc_cache
+    }
+
+    /// Read-only access to the device cache (statistics).
+    pub fn device_cache(&self) -> Option<&Cache> {
+        self.dev_cache.as_ref()
+    }
+
+    /// Read-only access to the memory bus (occupancy statistics).
+    pub fn memory_bus(&self) -> &Bus {
+        &self.memory_bus
+    }
+
+    /// Read-only access to the I/O bus (occupancy statistics).
+    pub fn io_bus(&self) -> &Bus {
+        &self.io_bus
+    }
+
+    /// Bridge statistics.
+    pub fn bridge_stats(&self) -> BridgeStats {
+        self.bridge.stats()
+    }
+
+    /// Resets bus, bridge and cache statistics and timelines (cache contents
+    /// are kept so warm-up state survives between measurement phases).
+    pub fn reset_interconnect_stats(&mut self) {
+        self.memory_bus.reset();
+        self.io_bus.reset();
+        self.bridge.reset();
+    }
+
+    /// Accounts for `idle_cycles` of processor spin-polling on an *uncached*
+    /// NI status register while the node had nothing else to do.
+    ///
+    /// The machine model fast-forwards idle periods instead of simulating
+    /// every poll; this method charges the bus occupancy those polls would
+    /// have generated (one uncached load back-to-back) so that the §5.2
+    /// memory-bus-occupancy comparison remains faithful. It never advances
+    /// the bus timeline. Cached polling (the CQ-based CNIs) generates no bus
+    /// traffic and needs no equivalent.
+    pub fn note_uncached_idle_polling(&mut self, idle_cycles: Cycle) {
+        if idle_cycles == 0 {
+            return;
+        }
+        let t = self.cfg.timing.clone();
+        match self.cfg.device_location {
+            DeviceLocation::CacheBus => {}
+            DeviceLocation::MemoryBus => {
+                let per = t.uncached_load(BusKind::MemoryBus);
+                let polls = idle_cycles / per.max(1);
+                self.memory_bus.record_untimed("idle_poll", polls * per);
+            }
+            DeviceLocation::IoBus => {
+                let per = t.uncached_load(BusKind::IoBus);
+                let polls = idle_cycles / per.max(1);
+                self.io_bus.record_untimed("idle_poll", polls * per);
+                self.memory_bus.record_untimed(
+                    "idle_poll",
+                    polls * t.uncached_load(BusKind::MemoryBus),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Uncached (device-register) accesses
+    // ------------------------------------------------------------------
+
+    /// Processor uncached 8-byte load from an NI device register.
+    ///
+    /// Returns the cycle at which the load's value is available to the
+    /// processor (loads always stall).
+    pub fn proc_uncached_load(&mut self, now: Cycle) -> Cycle {
+        let t = self.cfg.timing.clone();
+        match self.cfg.device_location {
+            DeviceLocation::CacheBus => now + t.uncached_load(BusKind::CacheBus),
+            DeviceLocation::MemoryBus => {
+                self.memory_bus
+                    .occupy(now, t.uncached_load(BusKind::MemoryBus), "uncached_load")
+                    .end
+            }
+            DeviceLocation::IoBus => {
+                self.bridge
+                    .bridged(
+                        BridgeInitiator::MemorySide,
+                        BridgeMode::Blocking,
+                        now,
+                        t.uncached_load(BusKind::IoBus),
+                        t.uncached_load(BusKind::MemoryBus),
+                        &mut self.memory_bus,
+                        &mut self.io_bus,
+                        &t,
+                        "uncached_load",
+                    )
+                    .end
+            }
+        }
+    }
+
+    /// Processor uncached 8-byte store to an NI device register.
+    ///
+    /// Returns the cycle at which the store is visible at the device. The
+    /// caller models store-buffer behaviour: for fire-and-forget control
+    /// stores the processor may proceed earlier; for stores followed by a
+    /// memory barrier it must wait for the returned cycle.
+    pub fn proc_uncached_store(&mut self, now: Cycle) -> Cycle {
+        let t = self.cfg.timing.clone();
+        match self.cfg.device_location {
+            DeviceLocation::CacheBus => now + t.uncached_store(BusKind::CacheBus),
+            DeviceLocation::MemoryBus => {
+                self.memory_bus
+                    .occupy(now, t.uncached_store(BusKind::MemoryBus), "uncached_store")
+                    .end
+            }
+            DeviceLocation::IoBus => {
+                self.bridge
+                    .bridged(
+                        BridgeInitiator::MemorySide,
+                        BridgeMode::Buffered,
+                        now,
+                        t.uncached_store(BusKind::IoBus),
+                        t.uncached_store(BusKind::MemoryBus),
+                        &mut self.memory_bus,
+                        &mut self.io_bus,
+                        &t,
+                        "uncached_store",
+                    )
+                    .end
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Processor coherent accesses
+    // ------------------------------------------------------------------
+
+    /// Processor coherent load of `block` whose home is `home`.
+    ///
+    /// Returns the cycle at which the data is available.
+    pub fn proc_cached_read(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
+        let t = self.cfg.timing.clone();
+        match self.proc_cache.classify_read(block) {
+            AccessOutcome::Hit => {
+                self.proc_cache.note_hit();
+                now + t.cache_hit
+            }
+            _ => {
+                // Who supplies the data?
+                let device_supplies = self
+                    .dev_cache
+                    .as_mut()
+                    .map(|c| c.snoop_read(block).supplies_data)
+                    .unwrap_or(false);
+                let done = if device_supplies || home == BlockHome::Device {
+                    self.device_to_proc_transfer(now, "c2c_from_device")
+                } else {
+                    // From main memory on the memory bus.
+                    self.memory_bus
+                        .occupy(now, t.memory_transfer, "memory_read")
+                        .end
+                };
+                let fill_state = if device_supplies {
+                    MoesiState::Shared
+                } else {
+                    MoesiState::Exclusive
+                };
+                let eviction = self.proc_cache.fill(block, fill_state, home);
+                let done = self.handle_proc_eviction(done, eviction);
+                done
+            }
+        }
+    }
+
+    /// Processor coherent store to `block` whose home is `home`
+    /// (write-allocate).
+    ///
+    /// Returns the cycle at which the store has retired (ownership obtained).
+    pub fn proc_cached_write(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
+        let t = self.cfg.timing.clone();
+        match self.proc_cache.classify_write(block) {
+            AccessOutcome::Hit => {
+                self.proc_cache.note_hit();
+                self.proc_cache.set_state(block, MoesiState::Modified);
+                now + t.cache_hit
+            }
+            AccessOutcome::UpgradeMiss => {
+                // Address-only invalidation; the device copy (if any) is
+                // invalidated by the snoop.
+                if let Some(dev) = self.dev_cache.as_mut() {
+                    dev.snoop_invalidate(block);
+                }
+                let done = self.invalidate_transaction(now, "proc_upgrade");
+                self.proc_cache.upgrade_to_modified(block);
+                done
+            }
+            AccessOutcome::Miss => {
+                // Read-exclusive: fetch the data and invalidate other copies.
+                let device_supplied = self
+                    .dev_cache
+                    .as_mut()
+                    .map(|c| c.snoop_invalidate(block).supplies_data)
+                    .unwrap_or(false);
+                let done = if device_supplied || home == BlockHome::Device {
+                    self.device_to_proc_transfer(now, "c2c_from_device")
+                } else {
+                    self.memory_bus
+                        .occupy(now, t.memory_transfer, "memory_read_excl")
+                        .end
+                };
+                let eviction = self.proc_cache.fill(block, MoesiState::Modified, home);
+                self.handle_proc_eviction(done, eviction)
+            }
+        }
+    }
+
+    /// An explicit memory-barrier-like stall: the processor waits until all
+    /// its previously issued bus transactions are visible. In this
+    /// transaction-level model stores already complete in order, so the cost
+    /// is the time until the device-facing bus is quiescent.
+    pub fn proc_store_barrier(&mut self, now: Cycle) -> Cycle {
+        let bus_free = match self.cfg.device_location {
+            DeviceLocation::CacheBus => now,
+            DeviceLocation::MemoryBus => self.memory_bus.free_at(),
+            DeviceLocation::IoBus => self.io_bus.free_at().max(self.memory_bus.free_at()),
+        };
+        now.max(bus_free) + self.cfg.timing.cache_hit
+    }
+
+    // ------------------------------------------------------------------
+    // Device-side coherent accesses
+    // ------------------------------------------------------------------
+
+    /// The CNI device obtains a readable copy of `block` (e.g. to inject an
+    /// outgoing message into the network).
+    ///
+    /// Returns the cycle at which the device holds the data.
+    pub fn device_read_block(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
+        let t = self.cfg.timing.clone();
+        assert!(
+            self.cfg.device_location != DeviceLocation::CacheBus,
+            "cache-bus devices perform no coherent transactions"
+        );
+        if let Some(dev) = self.dev_cache.as_ref() {
+            if dev.lookup(block).is_valid() {
+                return now + t.cache_hit;
+            }
+        }
+        let proc_supplies = self.proc_cache.snoop_read(block).supplies_data;
+        let done = if proc_supplies {
+            self.proc_to_device_transfer(now, "c2c_to_device")
+        } else {
+            match home {
+                BlockHome::Memory => self.memory_to_device_transfer(now, "device_memory_read"),
+                // Device-homed data not in the device cache lives in the
+                // device's own backing store: no bus transaction.
+                BlockHome::Device => now + t.cache_hit,
+            }
+        };
+        if self.dev_cache.is_some() {
+            let eviction = {
+                let dev = self.dev_cache.as_mut().expect("device cache present");
+                dev.fill(block, MoesiState::Shared, home)
+            };
+            return self.handle_device_eviction(done, eviction);
+        }
+        done
+    }
+
+    /// The CNI device obtains an exclusive (writable) copy of `block`,
+    /// invalidating the processor's copy — used when the device writes an
+    /// incoming message into a receive-queue block.
+    ///
+    /// Returns the cycle at which the device owns the block.
+    pub fn device_write_block(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
+        let t = self.cfg.timing.clone();
+        assert!(
+            self.cfg.device_location != DeviceLocation::CacheBus,
+            "cache-bus devices perform no coherent transactions"
+        );
+        if let Some(dev) = self.dev_cache.as_ref() {
+            if dev.lookup(block).can_write_silently() {
+                let dev = self.dev_cache.as_mut().expect("device cache present");
+                dev.set_state(block, MoesiState::Modified);
+                return now + t.cache_hit;
+            }
+        }
+        let proc_action = self.proc_cache.snoop_invalidate(block);
+        let done = if proc_action.was_dirty {
+            // The dirty data travels to the device with the invalidating
+            // transaction (read-exclusive).
+            self.proc_to_device_transfer(now, "c2c_to_device_excl")
+        } else if proc_action.prev.is_valid() {
+            // Address-only invalidation of a clean processor copy.
+            self.invalidate_transaction(now, "device_invalidate")
+        } else {
+            match home {
+                // The device still must obtain ownership from the home.
+                BlockHome::Memory => self.invalidate_transaction(now, "device_ownership"),
+                BlockHome::Device => now + t.cache_hit,
+            }
+        };
+        if self.dev_cache.is_some() {
+            let eviction = {
+                let dev = self.dev_cache.as_mut().expect("device cache present");
+                dev.fill(block, MoesiState::Modified, home)
+            };
+            return self.handle_device_eviction(done, eviction);
+        }
+        done
+    }
+
+    /// Explicitly flushes a (possibly dirty) device-cache block to its home.
+    /// Used by `CNI16Qm` when its small cache overflows to main memory.
+    ///
+    /// Returns the cycle at which the writeback completes (equal to `now` if
+    /// there was nothing to write back).
+    pub fn device_flush_block(&mut self, now: Cycle, block: BlockAddr) -> Cycle {
+        let Some(dev) = self.dev_cache.as_mut() else {
+            return now;
+        };
+        match dev.evict(block) {
+            Some(ev) if ev.needs_writeback() => self.writeback_from_device(now, ev.block, ev.home),
+            _ => now,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal transfer helpers
+    // ------------------------------------------------------------------
+
+    fn device_to_proc_transfer(&mut self, now: Cycle, kind: &str) -> Cycle {
+        let t = self.cfg.timing.clone();
+        match self.cfg.device_location {
+            DeviceLocation::MemoryBus => {
+                self.memory_bus
+                    .occupy(now, t.c2c_from_device(BusKind::MemoryBus), kind)
+                    .end
+            }
+            DeviceLocation::IoBus => {
+                self.bridge
+                    .bridged(
+                        BridgeInitiator::MemorySide,
+                        BridgeMode::Blocking,
+                        now,
+                        t.c2c_from_device(BusKind::IoBus),
+                        t.c2c_from_device(BusKind::MemoryBus),
+                        &mut self.memory_bus,
+                        &mut self.io_bus,
+                        &t,
+                        kind,
+                    )
+                    .end
+            }
+            DeviceLocation::CacheBus => unreachable!("checked by callers"),
+        }
+    }
+
+    fn proc_to_device_transfer(&mut self, now: Cycle, kind: &str) -> Cycle {
+        let t = self.cfg.timing.clone();
+        match self.cfg.device_location {
+            DeviceLocation::MemoryBus => {
+                self.memory_bus
+                    .occupy(now, t.c2c_to_device(BusKind::MemoryBus), kind)
+                    .end
+            }
+            DeviceLocation::IoBus => {
+                self.bridge
+                    .bridged(
+                        BridgeInitiator::IoSide,
+                        BridgeMode::Blocking,
+                        now,
+                        t.c2c_to_device(BusKind::IoBus),
+                        t.c2c_to_device(BusKind::MemoryBus),
+                        &mut self.memory_bus,
+                        &mut self.io_bus,
+                        &t,
+                        kind,
+                    )
+                    .end
+            }
+            DeviceLocation::CacheBus => unreachable!("checked by callers"),
+        }
+    }
+
+    fn memory_to_device_transfer(&mut self, now: Cycle, kind: &str) -> Cycle {
+        let t = self.cfg.timing.clone();
+        match self.cfg.device_location {
+            DeviceLocation::MemoryBus => {
+                self.memory_bus.occupy(now, t.memory_transfer, kind).end
+            }
+            DeviceLocation::IoBus => {
+                self.bridge
+                    .bridged(
+                        BridgeInitiator::IoSide,
+                        BridgeMode::Blocking,
+                        now,
+                        t.c2c_from_device(BusKind::IoBus),
+                        t.memory_transfer,
+                        &mut self.memory_bus,
+                        &mut self.io_bus,
+                        &t,
+                        kind,
+                    )
+                    .end
+            }
+            DeviceLocation::CacheBus => unreachable!("checked by callers"),
+        }
+    }
+
+    fn invalidate_transaction(&mut self, now: Cycle, kind: &str) -> Cycle {
+        let t = self.cfg.timing.clone();
+        match self.cfg.device_location {
+            DeviceLocation::CacheBus | DeviceLocation::MemoryBus => {
+                self.memory_bus
+                    .occupy(now, t.invalidate(BusKind::MemoryBus), kind)
+                    .end
+            }
+            DeviceLocation::IoBus => {
+                self.bridge
+                    .bridged(
+                        BridgeInitiator::MemorySide,
+                        BridgeMode::Buffered,
+                        now,
+                        t.invalidate(BusKind::IoBus),
+                        t.invalidate(BusKind::MemoryBus),
+                        &mut self.memory_bus,
+                        &mut self.io_bus,
+                        &t,
+                        kind,
+                    )
+                    .end
+            }
+        }
+    }
+
+    fn writeback_from_device(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
+        let t = self.cfg.timing.clone();
+        let done = match home {
+            BlockHome::Device => now, // internal to the device, free
+            BlockHome::Memory => match self.cfg.device_location {
+                DeviceLocation::MemoryBus => {
+                    self.memory_bus
+                        .occupy(now, t.memory_transfer, "device_writeback")
+                        .end
+                }
+                DeviceLocation::IoBus => {
+                    self.bridge
+                        .bridged(
+                            BridgeInitiator::IoSide,
+                            BridgeMode::Buffered,
+                            now,
+                            t.c2c_to_device(BusKind::IoBus),
+                            t.memory_transfer,
+                            &mut self.memory_bus,
+                            &mut self.io_bus,
+                            &t,
+                            "device_writeback",
+                        )
+                        .end
+                }
+                DeviceLocation::CacheBus => unreachable!("checked by callers"),
+            },
+        };
+        // Data snarfing (§5.1.2): the processor cache grabs device writebacks
+        // it observes on the memory bus if it still has a matching invalid
+        // tag. Only meaningful for memory-homed blocks.
+        if self.cfg.snarfing && home == BlockHome::Memory {
+            self.proc_cache.snarf_fill(block, home);
+        }
+        done
+    }
+
+    fn handle_proc_eviction(
+        &mut self,
+        now: Cycle,
+        eviction: Option<crate::moesi::Eviction>,
+    ) -> Cycle {
+        let t = self.cfg.timing.clone();
+        match eviction {
+            Some(ev) if ev.needs_writeback() => match ev.home {
+                BlockHome::Memory => {
+                    self.memory_bus
+                        .occupy(now, t.memory_transfer, "proc_writeback")
+                        .end
+                }
+                BlockHome::Device => self.proc_to_device_transfer(now, "proc_writeback_to_device"),
+            },
+            _ => now,
+        }
+    }
+
+    fn handle_device_eviction(
+        &mut self,
+        now: Cycle,
+        eviction: Option<crate::moesi::Eviction>,
+    ) -> Cycle {
+        match eviction {
+            Some(ev) if ev.needs_writeback() => self.writeback_from_device(now, ev.block, ev.home),
+            _ => now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory_bus_system() -> NodeMemSystem {
+        NodeMemSystem::new(NodeMemConfig::default())
+    }
+
+    fn io_bus_system() -> NodeMemSystem {
+        NodeMemSystem::new(NodeMemConfig {
+            device_location: DeviceLocation::IoBus,
+            ..NodeMemConfig::default()
+        })
+    }
+
+    fn cache_bus_system() -> NodeMemSystem {
+        NodeMemSystem::new(NodeMemConfig {
+            device_location: DeviceLocation::CacheBus,
+            device_cache_blocks: None,
+            ..NodeMemConfig::default()
+        })
+    }
+
+    #[test]
+    fn uncached_access_costs_follow_table_2() {
+        let mut mem = memory_bus_system();
+        assert_eq!(mem.proc_uncached_load(0), 28);
+        assert_eq!(mem.proc_uncached_store(28), 40);
+
+        let mut io = io_bus_system();
+        assert_eq!(io.proc_uncached_load(0), 48);
+        assert_eq!(io.proc_uncached_store(48), 48 + 32);
+
+        let mut cb = cache_bus_system();
+        assert_eq!(cb.proc_uncached_load(0), 4);
+        assert_eq!(cb.proc_uncached_store(0), 4);
+        // Cache-bus accesses never touch the memory bus.
+        assert_eq!(cb.memory_bus().busy_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncached")]
+    fn cache_bus_device_cannot_have_a_cache() {
+        let _ = NodeMemSystem::new(NodeMemConfig {
+            device_location: DeviceLocation::CacheBus,
+            device_cache_blocks: Some(4),
+            ..NodeMemConfig::default()
+        });
+    }
+
+    #[test]
+    fn proc_read_miss_from_memory_then_hit() {
+        let mut sys = memory_bus_system();
+        let blk = BlockAddr(100);
+        let done = sys.proc_cached_read(0, blk, BlockHome::Memory);
+        assert_eq!(done, 42);
+        assert_eq!(sys.proc_state(blk), MoesiState::Exclusive);
+        // Second read hits.
+        let done = sys.proc_cached_read(done, blk, BlockHome::Memory);
+        assert_eq!(done, 43);
+        assert_eq!(sys.proc_cache().hits(), 1);
+        assert_eq!(sys.proc_cache().misses(), 1);
+    }
+
+    #[test]
+    fn proc_read_miss_supplied_by_device_cache() {
+        let mut sys = memory_bus_system();
+        let blk = BlockAddr(5);
+        // The device writes the block first (incoming message).
+        let t0 = sys.device_write_block(0, blk, BlockHome::Device);
+        assert_eq!(sys.device_state(blk), MoesiState::Modified);
+        // The processor read pulls it cache-to-cache: 42 cycles.
+        let done = sys.proc_cached_read(t0, blk, BlockHome::Device);
+        assert_eq!(done - t0, 42);
+        assert_eq!(sys.proc_state(blk), MoesiState::Shared);
+        assert_eq!(sys.device_state(blk), MoesiState::Owned);
+    }
+
+    #[test]
+    fn proc_write_upgrade_invalidate_and_silent_hit() {
+        let mut sys = memory_bus_system();
+        let blk = BlockAddr(9);
+        sys.proc_cached_read(0, blk, BlockHome::Memory); // Exclusive
+        // Exclusive write hits silently.
+        let done = sys.proc_cached_write(50, blk, BlockHome::Memory);
+        assert_eq!(done, 51);
+        assert_eq!(sys.proc_state(blk), MoesiState::Modified);
+    }
+
+    #[test]
+    fn proc_write_to_shared_block_needs_invalidation() {
+        let mut sys = memory_bus_system();
+        let blk = BlockAddr(9);
+        // Device writes, processor reads => processor Shared, device Owned.
+        sys.device_write_block(0, blk, BlockHome::Device);
+        let t = sys.proc_cached_read(0, blk, BlockHome::Device);
+        assert_eq!(sys.proc_state(blk), MoesiState::Shared);
+        // Processor write now needs an upgrade and invalidates the device copy.
+        let before_upgrades = sys.proc_cache().upgrade_misses();
+        let done = sys.proc_cached_write(t, blk, BlockHome::Device);
+        assert_eq!(done - t, 12);
+        assert_eq!(sys.proc_cache().upgrade_misses(), before_upgrades + 1);
+        assert_eq!(sys.proc_state(blk), MoesiState::Modified);
+        assert_eq!(sys.device_state(blk), MoesiState::Invalid);
+    }
+
+    #[test]
+    fn device_pulls_dirty_block_from_processor() {
+        let mut sys = memory_bus_system();
+        let blk = BlockAddr(40);
+        sys.proc_cached_write(0, blk, BlockHome::Device);
+        assert_eq!(sys.proc_state(blk), MoesiState::Modified);
+        let done = sys.device_read_block(100, blk, BlockHome::Device);
+        assert_eq!(done - 100, 42);
+        assert_eq!(sys.proc_state(blk), MoesiState::Owned);
+        assert_eq!(sys.device_state(blk), MoesiState::Shared);
+        // A second device read hits in the device cache.
+        let again = sys.device_read_block(done, blk, BlockHome::Device);
+        assert_eq!(again - done, 1);
+    }
+
+    #[test]
+    fn device_write_invalidates_processor_copy() {
+        let mut sys = memory_bus_system();
+        let blk = BlockAddr(70);
+        sys.proc_cached_read(0, blk, BlockHome::Memory);
+        assert!(sys.proc_state(blk).is_valid());
+        let done = sys.device_write_block(100, blk, BlockHome::Memory);
+        assert!(done > 100);
+        assert_eq!(sys.proc_state(blk), MoesiState::Invalid);
+        assert_eq!(sys.device_state(blk), MoesiState::Modified);
+    }
+
+    #[test]
+    fn device_cache_overflow_writes_back_to_memory_home() {
+        // A 16-block device cache receiving 17 distinct memory-homed blocks
+        // must write back a dirty victim.
+        let mut sys = memory_bus_system();
+        let mut now = 0;
+        for i in 0..17u64 {
+            now = sys.device_write_block(now, BlockAddr(i), BlockHome::Memory);
+        }
+        let dev = sys.device_cache().unwrap();
+        assert!(dev.writebacks() >= 1, "expected at least one overflow writeback");
+        assert!(sys.memory_bus().occupancy().count_for("device_writeback") >= 1);
+    }
+
+    #[test]
+    fn device_homed_overflow_is_free_of_bus_traffic() {
+        let mut sys = memory_bus_system();
+        let mut now = 0;
+        for i in 0..17u64 {
+            now = sys.device_write_block(now, BlockAddr(i), BlockHome::Device);
+        }
+        assert_eq!(sys.memory_bus().occupancy().count_for("device_writeback"), 0);
+    }
+
+    #[test]
+    fn snarfing_turns_device_writebacks_into_processor_hits() {
+        let mut cfg = NodeMemConfig::default();
+        cfg.snarfing = true;
+        cfg.device_cache_blocks = Some(1);
+        let mut sys = NodeMemSystem::new(cfg);
+        let blk = BlockAddr(3);
+        // The processor previously cached the block, then the device took it
+        // over (receive-queue reuse), leaving an invalid tag in the processor
+        // cache.
+        sys.proc_cached_read(0, blk, BlockHome::Memory);
+        sys.device_write_block(50, blk, BlockHome::Memory);
+        assert_eq!(sys.proc_state(blk), MoesiState::Invalid);
+        // Device evicts the dirty block (cache is a single block; writing any
+        // other block forces the victim out).
+        sys.device_write_block(100, BlockAddr(99), BlockHome::Memory);
+        // With snarfing the processor grabbed the data off the bus.
+        assert_eq!(sys.proc_state(blk), MoesiState::Shared);
+        let before_misses = sys.proc_cache().misses();
+        let done = sys.proc_cached_read(200, blk, BlockHome::Memory);
+        assert_eq!(done, 201, "snarfed block should hit");
+        assert_eq!(sys.proc_cache().misses(), before_misses);
+    }
+
+    #[test]
+    fn io_bus_transfers_occupy_both_buses() {
+        let mut sys = io_bus_system();
+        let blk = BlockAddr(8);
+        sys.device_write_block(0, blk, BlockHome::Device);
+        let done = sys.proc_cached_read(10, blk, BlockHome::Device);
+        // 76 cycles of I/O-bus occupancy for the cache-to-cache transfer.
+        assert!(done >= 10 + 76);
+        assert!(sys.io_bus().busy_cycles() >= 76);
+        assert!(sys.memory_bus().busy_cycles() >= 42);
+    }
+
+    #[test]
+    fn store_barrier_waits_for_outstanding_transactions() {
+        let mut sys = memory_bus_system();
+        let visible = sys.proc_uncached_store(0);
+        assert_eq!(visible, 12);
+        // Barrier issued immediately after the store retires from the
+        // processor's point of view must wait for the bus transaction.
+        let done = sys.proc_store_barrier(1);
+        assert!(done >= visible);
+    }
+
+    #[test]
+    fn stats_reset_clears_bus_timelines() {
+        let mut sys = memory_bus_system();
+        sys.proc_uncached_load(0);
+        assert!(sys.memory_bus().busy_cycles() > 0);
+        sys.reset_interconnect_stats();
+        assert_eq!(sys.memory_bus().busy_cycles(), 0);
+        assert_eq!(sys.bridge_stats().crossings, 0);
+    }
+}

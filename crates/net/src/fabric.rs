@@ -1,0 +1,166 @@
+//! The latency-only network fabric.
+//!
+//! Topology is ignored (§4.1): every message experiences the same fixed wire
+//! latency. The fabric is a passive component — the machine model owns the
+//! global event queue, so [`Fabric::send`] simply computes the delivery time
+//! and returns a [`Delivery`] record for the caller to schedule. The fabric
+//! also computes acknowledgement arrival times for the sliding-window flow
+//! control and keeps aggregate traffic statistics.
+
+use serde::{Deserialize, Serialize};
+
+use cni_sim::time::Cycle;
+
+use crate::message::{NetMessage, NodeId, NET_MESSAGE_BYTES};
+
+/// A scheduled delivery returned by [`Fabric::send`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery<P> {
+    /// The message in flight.
+    pub message: NetMessage<P>,
+    /// Cycle at which the first byte arrives at the destination NI.
+    pub arrives_at: Cycle,
+}
+
+/// Aggregate fabric statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricStats {
+    /// Network messages injected.
+    pub messages: u64,
+    /// Wire bytes injected (messages × 256).
+    pub wire_bytes: u64,
+    /// User payload bytes injected.
+    pub payload_bytes: u64,
+}
+
+/// The network fabric.
+///
+/// ```
+/// use cni_net::fabric::Fabric;
+/// use cni_net::message::NodeId;
+///
+/// let mut fabric = Fabric::new(100);
+/// let d = fabric.send(50, NodeId(0), NodeId(1), 64, "payload");
+/// assert_eq!(d.arrives_at, 150);
+/// assert_eq!(fabric.stats().messages, 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fabric {
+    latency: Cycle,
+    next_seq: u64,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Creates a fabric with the given one-way wire latency in cycles.
+    pub fn new(latency: Cycle) -> Self {
+        Fabric {
+            latency,
+            next_seq: 0,
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The paper's 100-cycle fabric.
+    pub fn isca96() -> Self {
+        Self::new(100)
+    }
+
+    /// One-way latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Injects one network message at `now`, returning its delivery record.
+    ///
+    /// `payload_bytes` is the number of *user* bytes carried (≤ 244); the
+    /// wire always carries a full 256-byte message.
+    pub fn send<P>(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: usize,
+        payload: P,
+    ) -> Delivery<P> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.messages += 1;
+        self.stats.wire_bytes += NET_MESSAGE_BYTES as u64;
+        self.stats.payload_bytes += payload_bytes as u64;
+        Delivery {
+            message: NetMessage {
+                src,
+                dst,
+                seq,
+                payload_bytes,
+                payload,
+            },
+            arrives_at: now + self.latency,
+        }
+    }
+
+    /// Time at which an acknowledgement generated at the destination at
+    /// `accepted_at` arrives back at the source.
+    pub fn ack_arrival(&self, accepted_at: Cycle) -> Cycle {
+        accepted_at + self.latency
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Resets statistics (the sequence counter keeps increasing so sequence
+    /// numbers stay unique across measurement phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = FabricStats::default();
+    }
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::isca96()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_time_adds_the_wire_latency() {
+        let mut f = Fabric::isca96();
+        let d = f.send(1000, NodeId(2), NodeId(5), 12, ());
+        assert_eq!(d.arrives_at, 1100);
+        assert_eq!(d.message.src, NodeId(2));
+        assert_eq!(d.message.dst, NodeId(5));
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_monotonic() {
+        let mut f = Fabric::new(10);
+        let a = f.send(0, NodeId(0), NodeId(1), 1, ());
+        let b = f.send(0, NodeId(1), NodeId(0), 1, ());
+        assert!(b.message.seq > a.message.seq);
+    }
+
+    #[test]
+    fn stats_account_wire_and_payload_bytes() {
+        let mut f = Fabric::new(10);
+        f.send(0, NodeId(0), NodeId(1), 244, ());
+        f.send(0, NodeId(0), NodeId(1), 12, ());
+        let s = f.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.wire_bytes, 512);
+        assert_eq!(s.payload_bytes, 256);
+        f.reset_stats();
+        assert_eq!(f.stats().messages, 0);
+    }
+
+    #[test]
+    fn ack_arrival_is_symmetric() {
+        let f = Fabric::new(100);
+        assert_eq!(f.ack_arrival(400), 500);
+    }
+}

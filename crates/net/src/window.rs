@@ -1,0 +1,166 @@
+//! Per-destination sliding-window flow control.
+//!
+//! §4.1: "We model hardware flow control at the end points using a hardware
+//! sliding window protocol. A processor can send up to four network messages
+//! per destination before it blocks waiting for acknowledgments."
+//!
+//! The window is owned by the sending NI. `try_acquire` grabs a credit if one
+//! is available; `release` returns a credit when the acknowledgement arrives.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::NodeId;
+
+/// Default window size used by the paper.
+pub const DEFAULT_WINDOW: usize = 4;
+
+/// Per-destination sliding window.
+///
+/// ```
+/// use cni_net::window::SlidingWindow;
+/// use cni_net::message::NodeId;
+///
+/// let mut w = SlidingWindow::new(2);
+/// let dst = NodeId(3);
+/// assert!(w.try_acquire(dst));
+/// assert!(w.try_acquire(dst));
+/// assert!(!w.try_acquire(dst)); // window full
+/// w.release(dst);
+/// assert!(w.try_acquire(dst));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    limit: usize,
+    in_flight: BTreeMap<NodeId, usize>,
+    blocked_attempts: u64,
+}
+
+impl SlidingWindow {
+    /// Creates a window allowing `limit` unacknowledged messages per
+    /// destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn new(limit: usize) -> Self {
+        assert!(limit > 0, "window limit must be positive");
+        SlidingWindow {
+            limit,
+            in_flight: BTreeMap::new(),
+            blocked_attempts: 0,
+        }
+    }
+
+    /// Creates the paper's default four-message window.
+    pub fn isca96() -> Self {
+        Self::new(DEFAULT_WINDOW)
+    }
+
+    /// The per-destination limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Messages currently unacknowledged towards `dst`.
+    pub fn in_flight(&self, dst: NodeId) -> usize {
+        self.in_flight.get(&dst).copied().unwrap_or(0)
+    }
+
+    /// Whether a send to `dst` would be admitted right now.
+    pub fn can_send(&self, dst: NodeId) -> bool {
+        self.in_flight(dst) < self.limit
+    }
+
+    /// Attempts to take a credit towards `dst`. Returns `false` (and records
+    /// a blocked attempt) if the window is full.
+    pub fn try_acquire(&mut self, dst: NodeId) -> bool {
+        let entry = self.in_flight.entry(dst).or_insert(0);
+        if *entry < self.limit {
+            *entry += 1;
+            true
+        } else {
+            self.blocked_attempts += 1;
+            false
+        }
+    }
+
+    /// Returns a credit for `dst` (an acknowledgement arrived).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no message was in flight to `dst` — that indicates a
+    /// protocol bug in the caller.
+    pub fn release(&mut self, dst: NodeId) {
+        let entry = self
+            .in_flight
+            .get_mut(&dst)
+            .unwrap_or_else(|| panic!("release without acquire for {dst}"));
+        assert!(*entry > 0, "release without acquire for {dst}");
+        *entry -= 1;
+    }
+
+    /// Total messages currently unacknowledged across all destinations.
+    pub fn total_in_flight(&self) -> usize {
+        self.in_flight.values().sum()
+    }
+
+    /// How many times a send attempt found the window full.
+    pub fn blocked_attempts(&self) -> u64 {
+        self.blocked_attempts
+    }
+}
+
+impl Default for SlidingWindow {
+    fn default() -> Self {
+        Self::isca96()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_window_is_four() {
+        let w = SlidingWindow::default();
+        assert_eq!(w.limit(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_is_rejected() {
+        let _ = SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn window_is_per_destination() {
+        let mut w = SlidingWindow::new(1);
+        assert!(w.try_acquire(NodeId(0)));
+        assert!(w.try_acquire(NodeId(1)));
+        assert!(!w.try_acquire(NodeId(0)));
+        assert_eq!(w.total_in_flight(), 2);
+        assert_eq!(w.blocked_attempts(), 1);
+    }
+
+    #[test]
+    fn release_restores_credit() {
+        let mut w = SlidingWindow::new(4);
+        let dst = NodeId(7);
+        for _ in 0..4 {
+            assert!(w.try_acquire(dst));
+        }
+        assert!(!w.can_send(dst));
+        w.release(dst);
+        assert!(w.can_send(dst));
+        assert_eq!(w.in_flight(dst), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn release_without_acquire_panics() {
+        let mut w = SlidingWindow::new(4);
+        w.release(NodeId(0));
+    }
+}

@@ -1,0 +1,172 @@
+//! The common interface all five NI device models implement.
+//!
+//! The machine model (in `cni-core`) drives devices through this trait:
+//! processor-side calls happen in program order on the simulated processor's
+//! time line, device-side calls happen at event times (network arrivals,
+//! injection opportunities). Every call receives the node's
+//! [`NodeMemSystem`] so the device can charge its bus transactions and
+//! coherence actions.
+
+use cni_mem::system::NodeMemSystem;
+use cni_sim::time::Cycle;
+
+use crate::frag::FragRef;
+use crate::taxonomy::NiKind;
+
+/// Outcome of a processor-side send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The fragment was enqueued; the processor is free at `done`.
+    Accepted {
+        /// Cycle at which the processor finishes the send.
+        done: Cycle,
+    },
+    /// The NI send queue was full; `done` is the time spent discovering that.
+    /// The caller must drain incoming messages (deadlock avoidance, §4.1) and
+    /// retry.
+    Full {
+        /// Cycle at which the processor finishes the failed attempt.
+        done: Cycle,
+    },
+}
+
+impl SendOutcome {
+    /// Completion time regardless of outcome.
+    pub fn done(&self) -> Cycle {
+        match *self {
+            SendOutcome::Accepted { done } | SendOutcome::Full { done } => done,
+        }
+    }
+
+    /// Whether the fragment was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, SendOutcome::Accepted { .. })
+    }
+}
+
+/// Outcome of a processor-side poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollOutcome {
+    /// Cycle at which the poll completes.
+    pub done: Cycle,
+    /// Whether a message is available to receive.
+    pub available: bool,
+}
+
+/// Outcome of a processor-side receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReceiveOutcome {
+    /// Cycle at which the message is fully copied to user space and the NI
+    /// queue entry has been released.
+    pub done: Cycle,
+    /// The fragment received.
+    pub frag: FragRef,
+}
+
+/// Outcome of a device-side delivery of an arriving network message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverOutcome {
+    /// The device stored the message; an acknowledgement may be generated at
+    /// `done`.
+    Accepted {
+        /// Cycle at which the device finished storing the message.
+        done: Cycle,
+    },
+    /// The device's receive queue is full; the network must hold the message
+    /// and retry (backpressure).
+    Refused,
+}
+
+impl DeliverOutcome {
+    /// Whether the message was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, DeliverOutcome::Accepted { .. })
+    }
+}
+
+/// A network-interface device model.
+///
+/// Implementations: [`crate::ni2w::Ni2wDevice`], [`crate::cdr::Cni4Device`]
+/// and [`crate::cniq::CniQDevice`] (which covers `CNI16Q`, `CNI512Q` and
+/// `CNI16Qm`).
+pub trait NiDevice {
+    /// Which taxonomy entry this device implements.
+    fn kind(&self) -> NiKind;
+
+    // ------------------------------------------------------------------
+    // Processor side
+    // ------------------------------------------------------------------
+
+    /// Attempts to enqueue one outgoing fragment.
+    fn proc_send(&mut self, now: Cycle, mem: &mut NodeMemSystem, frag: FragRef) -> SendOutcome;
+
+    /// Polls for an incoming fragment without consuming it.
+    fn proc_poll(&mut self, now: Cycle, mem: &mut NodeMemSystem) -> PollOutcome;
+
+    /// Receives (copies to user space and pops) the fragment at the head of
+    /// the receive queue. Returns `None` if the queue is empty — callers
+    /// normally poll first.
+    fn proc_receive(&mut self, now: Cycle, mem: &mut NodeMemSystem) -> Option<ReceiveOutcome>;
+
+    // ------------------------------------------------------------------
+    // Device side
+    // ------------------------------------------------------------------
+
+    /// The next outgoing fragment the device would inject, without doing any
+    /// work. The machine uses this to check the sliding-window credit for the
+    /// fragment's destination before committing to the injection.
+    fn peek_send(&self) -> Option<FragRef>;
+
+    /// If an outgoing fragment is ready, performs the device-side work to
+    /// extract it (e.g. pulling CQ blocks out of the processor cache) and
+    /// returns it along with the cycle at which it is ready to inject into
+    /// the network.
+    fn device_take_for_injection(
+        &mut self,
+        now: Cycle,
+        mem: &mut NodeMemSystem,
+    ) -> Option<(Cycle, FragRef)>;
+
+    /// Delivers an arriving network message to the device.
+    fn device_deliver(
+        &mut self,
+        now: Cycle,
+        mem: &mut NodeMemSystem,
+        frag: FragRef,
+    ) -> DeliverOutcome;
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Fragments waiting in the send queue (not yet injected).
+    fn send_queue_len(&self) -> usize;
+
+    /// Fragments waiting in the receive queue (not yet received by the
+    /// processor).
+    fn recv_queue_len(&self) -> usize;
+
+    /// Whether the send path currently has room for another fragment.
+    fn send_has_room(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_outcome_helpers() {
+        let a = SendOutcome::Accepted { done: 10 };
+        let f = SendOutcome::Full { done: 7 };
+        assert!(a.is_accepted());
+        assert!(!f.is_accepted());
+        assert_eq!(a.done(), 10);
+        assert_eq!(f.done(), 7);
+    }
+
+    #[test]
+    fn deliver_outcome_helpers() {
+        assert!(DeliverOutcome::Accepted { done: 1 }.is_accepted());
+        assert!(!DeliverOutcome::Refused.is_accepted());
+    }
+}

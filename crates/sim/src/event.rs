@@ -1,0 +1,216 @@
+//! Ordered event queue.
+//!
+//! The simulator is a classic discrete-event design: components schedule
+//! future work as events, and a central loop pops the earliest event and
+//! dispatches it. [`EventQueue`] keeps events ordered by time and, within a
+//! single cycle, by insertion order (FIFO) so simulations are deterministic
+//! regardless of the heap's internal layout.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// An entry in the queue: time, monotonically increasing sequence number (to
+/// break ties deterministically) and the user event payload.
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert the ordering so the earliest event
+        // (and lowest sequence number) is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use cni_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(3, "c");
+/// q.schedule(1, "a");
+/// q.schedule(1, "b"); // same cycle: FIFO order preserved
+/// assert_eq!(q.pop(), Some((1, "a")));
+/// assert_eq!(q.pop(), Some((1, "b")));
+/// assert_eq!(q.pop(), Some((3, "c")));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at cycle zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute cycle `at`.
+    ///
+    /// Scheduling an event in the past (before [`EventQueue::now`]) is
+    /// allowed — it simply fires at the next pop — but usually indicates a
+    /// modelling error, so debug builds assert against it.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling an event at {at} before the current time {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` cycles after the current time.
+    pub fn schedule_in(&mut self, delay: Cycle, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.schedule(at, event);
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event, advancing the simulation clock to its time.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        // The clock never moves backwards even if an event was scheduled in
+        // the past (see `schedule`).
+        self.now = self.now.max(entry.at);
+        Some((self.now, entry.event))
+    }
+
+    /// Removes all pending events without changing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.schedule(7, ());
+        q.schedule(9, ());
+        q.pop();
+        assert_eq!(q.now(), 7);
+        q.pop();
+        assert_eq!(q.now(), 9);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(5, "first");
+        q.pop();
+        q.schedule_in(10, "second");
+        assert_eq!(q.peek_time(), Some(15));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(99, ());
+        assert_eq!(q.peek_time(), Some(99));
+        assert_eq!(q.now(), 0);
+    }
+}

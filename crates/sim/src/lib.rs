@@ -1,0 +1,37 @@
+//! Discrete-event simulation engine for the CNI (ISCA 1996) reproduction.
+//!
+//! This crate is deliberately free of any architecture-specific knowledge: it
+//! provides the time base ([`time::Cycle`]), an ordered event queue
+//! ([`event::EventQueue`]), statistic primitives ([`stats`]), a deterministic
+//! random-number generator ([`rng::DetRng`]) and a lightweight tracing
+//! facility ([`trace`]). The memory system, network and NI device models in
+//! the sibling crates are built on top of these primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use cni_sim::event::EventQueue;
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(10, Ev::Pong);
+//! q.schedule(5, Ev::Ping);
+//! assert_eq!(q.pop(), Some((5, Ev::Ping)));
+//! assert_eq!(q.pop(), Some((10, Ev::Pong)));
+//! assert_eq!(q.pop(), None);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, OccupancyTracker, StatsRegistry};
+pub use time::{cycles_to_micros, Cycle, PROCESSOR_HZ};

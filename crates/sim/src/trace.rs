@@ -1,0 +1,136 @@
+//! Lightweight simulation tracing.
+//!
+//! Debugging a multi-node coherence/messaging simulation without visibility
+//! into what each component did is painful. [`Tracer`] collects timestamped
+//! records that tests and harness binaries can inspect or print. Tracing is
+//! off by default and costs a branch per call when disabled.
+
+use crate::time::Cycle;
+
+/// A single trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time the record was emitted.
+    pub at: Cycle,
+    /// Component that emitted the record (e.g. `"node3.memory_bus"`).
+    pub source: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// Collects trace records when enabled.
+///
+/// ```
+/// use cni_sim::trace::Tracer;
+/// let mut t = Tracer::disabled();
+/// t.emit(10, "bus", "this is dropped");
+/// assert_eq!(t.records().len(), 0);
+///
+/// let mut t = Tracer::enabled();
+/// t.emit(10, "bus", "occupied 42 cycles");
+/// assert_eq!(t.records().len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// A tracer that records everything.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether records are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns collection on or off (existing records are kept).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Emits a record if tracing is enabled.
+    pub fn emit(&mut self, at: Cycle, source: &str, message: impl Into<String>) {
+        if self.enabled {
+            self.records.push(TraceRecord {
+                at,
+                source: source.to_owned(),
+                message: message.into(),
+            });
+        }
+    }
+
+    /// All collected records in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose source contains `needle`.
+    pub fn records_from<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.source.contains(needle))
+    }
+
+    /// Drops all collected records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_drops_records() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(1, "a", "x");
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_collects_in_order() {
+        let mut t = Tracer::enabled();
+        t.emit(1, "a", "first");
+        t.emit(2, "b", "second");
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.records()[0].message, "first");
+        assert_eq!(t.records()[1].at, 2);
+    }
+
+    #[test]
+    fn filtering_by_source() {
+        let mut t = Tracer::enabled();
+        t.emit(1, "node0.bus", "x");
+        t.emit(2, "node1.bus", "y");
+        t.emit(3, "node0.nic", "z");
+        assert_eq!(t.records_from("node0").count(), 2);
+        assert_eq!(t.records_from("bus").count(), 2);
+    }
+
+    #[test]
+    fn toggling_and_clearing() {
+        let mut t = Tracer::disabled();
+        t.set_enabled(true);
+        t.emit(5, "s", "kept");
+        t.set_enabled(false);
+        t.emit(6, "s", "dropped");
+        assert_eq!(t.records().len(), 1);
+        t.clear();
+        assert!(t.records().is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! The five macrobenchmarks of the CNI paper (§4.2, Table 3).
+//!
+//! | benchmark | key communication       | paper input              |
+//! |-----------|--------------------------|--------------------------|
+//! | spsolve   | fine-grain messages (12 B payload) down a DAG | 3720 elements |
+//! | gauss     | one-to-all broadcast of a 2 KB pivot row        | 512×512 matrix |
+//! | em3d      | fine-grain updates (12 B payload) over a bipartite graph | 1 K nodes, degree 5, 10 % remote, 10 iterations |
+//! | moldyn    | bulk reduction: 1.5 KB to a neighbour, P steps per reduction | 2048 particles, 30 iterations |
+//! | appbt     | near-neighbour exchange of 128-byte shared-memory blocks | 24³ cube, 4 iterations |
+//!
+//! Following DESIGN.md, each benchmark is reimplemented as its
+//! *communication skeleton*: the message sizes, fan-out, dependence structure
+//! and burstiness of the original application, with the computation charged
+//! as cycles. Every workload is deterministic for a given seed and node
+//! count, and every workload's full paper-scale input is available alongside
+//! a scaled-down default that keeps simulation times reasonable.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appbt;
+pub mod em3d;
+pub mod gauss;
+pub mod moldyn;
+pub mod registry;
+pub mod spsolve;
+
+pub use registry::{Workload, WorkloadParams};

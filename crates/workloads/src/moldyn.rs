@@ -1,0 +1,225 @@
+//! `moldyn`: molecular dynamics with a bulk reduction protocol (§4.2).
+//!
+//! The main communication is a custom bulk reduction that accounts for
+//! roughly 40 % of the application's time with `NI2w`. One execution of the
+//! reduction iterates as many times as there are processors; in each of these
+//! steps a processor sends 1.5 kilobytes to the same neighbouring processor
+//! (a ring) and waits for the corresponding data from its other neighbour
+//! before proceeding.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use cni_core::machine::{ProcCtx, Program};
+use cni_core::msg::AmMessage;
+use cni_net::message::NodeId;
+use cni_sim::time::Cycle;
+
+/// Handler id for a reduction chunk.
+pub const H_REDUCE: u16 = 40;
+
+/// Parameters of the moldyn workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoldynParams {
+    /// Number of particles (drives the force-computation cost).
+    pub particles: usize,
+    /// Number of outer iterations (each runs one full reduction).
+    pub iterations: usize,
+    /// Bytes sent to the neighbour in every reduction step (1.5 KB in the
+    /// paper).
+    pub reduction_bytes: usize,
+    /// Cycles of force computation per particle per iteration.
+    pub compute_per_particle: Cycle,
+}
+
+impl Default for MoldynParams {
+    fn default() -> Self {
+        MoldynParams {
+            particles: 256,
+            iterations: 4,
+            reduction_bytes: 1536,
+            compute_per_particle: 60,
+        }
+    }
+}
+
+impl MoldynParams {
+    /// The paper's input: 2048 particles, 30 iterations.
+    pub fn paper() -> Self {
+        MoldynParams {
+            particles: 2048,
+            iterations: 30,
+            reduction_bytes: 1536,
+            compute_per_particle: 60,
+        }
+    }
+}
+
+/// The per-processor moldyn program.
+pub struct MoldynProgram {
+    me: usize,
+    nodes: usize,
+    params: MoldynParams,
+    iteration: usize,
+    step: usize,
+    sent_this_step: bool,
+    /// Chunks received, keyed by (iteration, step).
+    received: HashMap<(usize, usize), usize>,
+}
+
+impl MoldynProgram {
+    /// Creates the program for processor `me` of `nodes`.
+    pub fn new(me: usize, nodes: usize, params: MoldynParams) -> Self {
+        MoldynProgram {
+            me,
+            nodes,
+            params,
+            iteration: 0,
+            step: 0,
+            sent_this_step: false,
+            received: HashMap::new(),
+        }
+    }
+
+    /// Completed outer iterations.
+    pub fn iterations_done(&self) -> usize {
+        self.iteration
+    }
+
+    fn next_neighbor(&self) -> NodeId {
+        NodeId((self.me + 1) % self.nodes)
+    }
+
+    fn steps_per_reduction(&self) -> usize {
+        self.nodes
+    }
+
+    fn drive(&mut self, ctx: &mut ProcCtx<'_>) {
+        loop {
+            if self.iteration >= self.params.iterations {
+                return;
+            }
+            if !self.sent_this_step {
+                if self.step == 0 {
+                    // Non-bonded force computation before the reduction.
+                    ctx.compute(
+                        self.params.particles as Cycle * self.params.compute_per_particle
+                            / self.nodes as Cycle,
+                    );
+                }
+                if self.nodes > 1 {
+                    ctx.send_am(
+                        self.next_neighbor(),
+                        H_REDUCE,
+                        self.params.reduction_bytes,
+                        vec![self.iteration as u64, self.step as u64],
+                    );
+                }
+                self.sent_this_step = true;
+            }
+            // Can we finish this step?
+            let expected = usize::from(self.nodes > 1);
+            let got = self
+                .received
+                .get(&(self.iteration, self.step))
+                .copied()
+                .unwrap_or(0);
+            if got < expected {
+                return; // wait for the neighbour's chunk
+            }
+            self.received.remove(&(self.iteration, self.step));
+            // Fold the received chunk into the local accumulation.
+            ctx.compute(self.params.reduction_bytes as Cycle / 8);
+            self.step += 1;
+            self.sent_this_step = false;
+            if self.step >= self.steps_per_reduction() {
+                self.step = 0;
+                self.iteration += 1;
+            }
+        }
+    }
+}
+
+impl Program for MoldynProgram {
+    fn start(&mut self, ctx: &mut ProcCtx<'_>) {
+        self.drive(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProcCtx<'_>, msg: AmMessage) {
+        debug_assert_eq!(msg.handler, H_REDUCE);
+        let key = (msg.data[0] as usize, msg.data[1] as usize);
+        *self.received.entry(key).or_insert(0) += 1;
+        self.drive(ctx);
+    }
+
+    fn on_idle(&mut self, _ctx: &mut ProcCtx<'_>) -> bool {
+        false
+    }
+
+    fn is_done(&self) -> bool {
+        self.iteration >= self.params.iterations
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Builds one moldyn program per node.
+pub fn programs(nodes: usize, params: &MoldynParams) -> Vec<Box<dyn Program>> {
+    (0..nodes)
+        .map(|i| Box::new(MoldynProgram::new(i, nodes, *params)) as Box<dyn Program>)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cni_core::machine::{Machine, MachineConfig};
+    use cni_net::message::fragments_for_bytes;
+    use cni_nic::taxonomy::NiKind;
+
+    #[test]
+    fn reduction_ring_completes_every_iteration() {
+        let params = MoldynParams {
+            particles: 64,
+            iterations: 3,
+            ..MoldynParams::default()
+        };
+        let nodes = 4;
+        let cfg = MachineConfig::isca96(nodes, NiKind::Cni512Q);
+        let mut machine = Machine::new(cfg, programs(nodes, &params));
+        let report = machine.run();
+        assert!(report.completed, "moldyn did not complete");
+        for i in 0..nodes {
+            let p = machine.program_as::<MoldynProgram>(i).unwrap();
+            assert_eq!(p.iterations_done(), params.iterations);
+        }
+        // Every processor sends one 1.5 KB chunk per step, `nodes` steps per
+        // iteration.
+        let chunks = (nodes * nodes * params.iterations) as u64;
+        let expected = chunks * fragments_for_bytes(params.reduction_bytes) as u64;
+        assert_eq!(report.fabric.messages, expected);
+    }
+
+    #[test]
+    fn single_node_moldyn_degenerates_to_pure_compute() {
+        let params = MoldynParams {
+            particles: 32,
+            iterations: 2,
+            ..MoldynParams::default()
+        };
+        let cfg = MachineConfig::isca96(1, NiKind::Cni16Qm);
+        let mut machine = Machine::new(cfg, programs(1, &params));
+        let report = machine.run();
+        assert!(report.completed);
+        assert_eq!(report.fabric.messages, 0);
+    }
+
+    #[test]
+    fn paper_input_is_larger_than_default() {
+        assert!(MoldynParams::paper().particles > MoldynParams::default().particles);
+    }
+}

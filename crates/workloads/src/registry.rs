@@ -1,0 +1,188 @@
+//! A uniform way to name, parameterise and instantiate the five
+//! macrobenchmarks — used by the Figure 8 harness, the occupancy harness and
+//! the integration tests.
+
+use serde::{Deserialize, Serialize};
+
+use cni_core::machine::Program;
+
+use crate::appbt::{self, AppbtParams};
+use crate::em3d::{self, Em3dParams};
+use crate::gauss::{self, GaussParams};
+use crate::moldyn::{self, MoldynParams};
+use crate::spsolve::{self, SpsolveParams};
+
+/// The five macrobenchmarks of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Fine-grain DAG solver.
+    Spsolve,
+    /// Gaussian elimination with pivot-row broadcast.
+    Gauss,
+    /// Electromagnetic wave propagation on a bipartite graph.
+    Em3d,
+    /// Molecular dynamics with a bulk ring reduction.
+    Moldyn,
+    /// NAS BT with near-neighbour shared-memory exchange.
+    Appbt,
+}
+
+impl Workload {
+    /// All five, in the order the paper's figures list them.
+    pub const ALL: [Workload; 5] = [
+        Workload::Spsolve,
+        Workload::Gauss,
+        Workload::Em3d,
+        Workload::Moldyn,
+        Workload::Appbt,
+    ];
+
+    /// The benchmark's name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Spsolve => "spsolve",
+            Workload::Gauss => "gauss",
+            Workload::Em3d => "em3d",
+            Workload::Moldyn => "moldyn",
+            Workload::Appbt => "appbt",
+        }
+    }
+
+    /// Parses a benchmark name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Workload> {
+        let lower = name.to_ascii_lowercase();
+        Workload::ALL.into_iter().find(|w| w.name() == lower)
+    }
+
+    /// The key communication pattern (Table 3's middle column).
+    pub fn communication(self) -> &'static str {
+        match self {
+            Workload::Spsolve => "fine-grain messages",
+            Workload::Gauss => "one-to-all broadcast",
+            Workload::Em3d => "fine-grain messages",
+            Workload::Moldyn => "bulk reduction",
+            Workload::Appbt => "near neighbor",
+        }
+    }
+
+    /// Builds one program per node for this workload.
+    pub fn programs(self, nodes: usize, params: &WorkloadParams) -> Vec<Box<dyn Program>> {
+        match self {
+            Workload::Spsolve => spsolve::programs(nodes, &params.spsolve),
+            Workload::Gauss => gauss::programs(nodes, &params.gauss),
+            Workload::Em3d => em3d::programs(nodes, &params.em3d),
+            Workload::Moldyn => moldyn::programs(nodes, &params.moldyn),
+            Workload::Appbt => appbt::programs(nodes, &params.appbt),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters for all five workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct WorkloadParams {
+    /// spsolve parameters.
+    pub spsolve: SpsolveParams,
+    /// gauss parameters.
+    pub gauss: GaussParams,
+    /// em3d parameters.
+    pub em3d: Em3dParams,
+    /// moldyn parameters.
+    pub moldyn: MoldynParams,
+    /// appbt parameters.
+    pub appbt: AppbtParams,
+}
+
+impl WorkloadParams {
+    /// The scaled-down defaults used by tests and quick harness runs.
+    pub fn scaled() -> Self {
+        Self::default()
+    }
+
+    /// The paper's full input sizes (Table 3).
+    pub fn paper() -> Self {
+        WorkloadParams {
+            spsolve: SpsolveParams::paper(),
+            gauss: GaussParams::paper(),
+            em3d: Em3dParams::paper(),
+            moldyn: MoldynParams::paper(),
+            appbt: AppbtParams::paper(),
+        }
+    }
+
+    /// An even smaller configuration for fast smoke tests.
+    pub fn tiny() -> Self {
+        WorkloadParams {
+            spsolve: SpsolveParams {
+                elements: 64,
+                layers: 4,
+                ..SpsolveParams::default()
+            },
+            gauss: GaussParams {
+                n: 8,
+                ..GaussParams::default()
+            },
+            em3d: Em3dParams {
+                graph_nodes: 32,
+                iterations: 2,
+                ..Em3dParams::default()
+            },
+            moldyn: MoldynParams {
+                particles: 32,
+                iterations: 2,
+                ..MoldynParams::default()
+            },
+            appbt: AppbtParams {
+                cube: 4,
+                iterations: 1,
+                ..AppbtParams::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cni_core::machine::{Machine, MachineConfig};
+    use cni_nic::taxonomy::NiKind;
+
+    #[test]
+    fn names_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::parse(w.name()), Some(w));
+            assert_eq!(Workload::parse(&w.name().to_uppercase()), Some(w));
+            assert!(!w.communication().is_empty());
+        }
+        assert_eq!(Workload::parse("linpack"), None);
+    }
+
+    #[test]
+    fn every_workload_completes_on_a_small_machine() {
+        let params = WorkloadParams::tiny();
+        for w in Workload::ALL {
+            let nodes = 4;
+            let cfg = MachineConfig::isca96(nodes, NiKind::Cni16Qm);
+            let mut machine = Machine::new(cfg, w.programs(nodes, &params));
+            let report = machine.run();
+            assert!(report.completed, "{w} did not complete");
+            assert!(report.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn paper_parameters_are_larger_than_scaled() {
+        let scaled = WorkloadParams::scaled();
+        let paper = WorkloadParams::paper();
+        assert!(paper.spsolve.elements > scaled.spsolve.elements);
+        assert!(paper.gauss.n > scaled.gauss.n);
+        assert!(paper.em3d.graph_nodes > scaled.em3d.graph_nodes);
+        assert!(paper.moldyn.iterations > scaled.moldyn.iterations);
+        assert!(paper.appbt.cube > scaled.appbt.cube);
+    }
+}

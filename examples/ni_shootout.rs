@@ -1,0 +1,50 @@
+//! NI shoot-out: sweep message sizes on both the memory bus and the coherent
+//! I/O bus for every network interface the paper evaluates, printing the same
+//! latency series as Figure 6(a) and 6(b).
+//!
+//! Run with `cargo run --release --example ni_shootout`.
+
+use cni::core::machine::MachineConfig;
+use cni::core::micro::{round_trip_latency, LatencyParams};
+use cni::mem::system::DeviceLocation;
+use cni::nic::NiKind;
+
+fn sweep(location: DeviceLocation, label: &str) {
+    let sizes = [8usize, 32, 64, 128, 256];
+    let nis: Vec<NiKind> = match location {
+        DeviceLocation::IoBus => NiKind::ALL
+            .into_iter()
+            .filter(|&k| k != NiKind::Cni16Qm)
+            .collect(),
+        _ => NiKind::ALL.to_vec(),
+    };
+
+    println!("\nround-trip latency in microseconds — {label}");
+    print!("{:>8}", "bytes");
+    for ni in &nis {
+        print!("{:>10}", ni.to_string());
+    }
+    println!();
+    for bytes in sizes {
+        print!("{bytes:>8}");
+        for &ni in &nis {
+            let cfg = MachineConfig::for_bus(2, ni, location);
+            let report = round_trip_latency(
+                &cfg,
+                &LatencyParams {
+                    message_bytes: bytes,
+                    iterations: 12,
+                },
+            );
+            print!("{:>10.2}", report.round_trip_micros);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    sweep(DeviceLocation::MemoryBus, "NI on the coherent memory bus");
+    sweep(DeviceLocation::IoBus, "NI on the coherent I/O bus");
+    println!("\nExpected shape (paper §5.1): every CNI beats NI2w, the CQ-based CNIs beat CNI4,");
+    println!("and the gap grows with message size and on the slower I/O bus.");
+}

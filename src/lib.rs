@@ -1,0 +1,33 @@
+//! Facade crate for the coherent network interface (CNI) reproduction.
+//!
+//! This crate re-exports the workspace crates so that examples, integration
+//! tests and downstream users can depend on a single package:
+//!
+//! * [`sim`] — discrete-event simulation engine.
+//! * [`mem`] — MOESI caches, buses, bridge and memory timing.
+//! * [`net`] — network fabric and sliding-window flow control.
+//! * [`nic`] — the five network-interface device models and the taxonomy.
+//! * [`core`] — cachable queues / device registers, the machine model and the
+//!   user-level messaging layer.
+//! * [`workloads`] — the five macrobenchmarks of the paper.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cni::core::machine::MachineConfig;
+//! use cni::core::micro::{round_trip_latency, LatencyParams};
+//! use cni::nic::NiKind;
+//!
+//! let cfg = MachineConfig::isca96(2, NiKind::Cni16Qm);
+//! let report = round_trip_latency(&cfg, &LatencyParams { message_bytes: 64, iterations: 8 });
+//! assert!(report.round_trip_cycles > 0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cni_core as core;
+pub use cni_mem as mem;
+pub use cni_net as net;
+pub use cni_nic as nic;
+pub use cni_sim as sim;
+pub use cni_workloads as workloads;

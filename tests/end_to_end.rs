@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: full machines, real NIs, real workloads.
+
+use cni::core::machine::{Machine, MachineConfig};
+use cni::core::micro::{
+    round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams,
+};
+use cni::mem::system::DeviceLocation;
+use cni::nic::NiKind;
+use cni::workloads::{Workload, WorkloadParams};
+
+fn run(workload: Workload, nodes: usize, ni: NiKind, location: DeviceLocation) -> u64 {
+    let params = WorkloadParams::tiny();
+    let cfg = MachineConfig::for_bus(nodes, ni, location);
+    let mut machine = Machine::new(cfg, workload.programs(nodes, &params));
+    let report = machine.run();
+    assert!(report.completed, "{workload} on {ni} did not complete");
+    report.cycles
+}
+
+#[test]
+fn every_workload_completes_on_every_ni_on_the_memory_bus() {
+    for workload in Workload::ALL {
+        for ni in NiKind::ALL {
+            let cycles = run(workload, 4, ni, DeviceLocation::MemoryBus);
+            assert!(cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn every_workload_completes_on_the_io_bus() {
+    for workload in Workload::ALL {
+        for ni in [NiKind::Ni2w, NiKind::Cni512Q] {
+            let cycles = run(workload, 4, ni, DeviceLocation::IoBus);
+            assert!(cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn bulk_workloads_prefer_coherent_nis() {
+    // gauss (2 KB broadcasts) and moldyn (1.5 KB reductions) exercise the
+    // block-transfer advantage: the CQ-based CNIs must beat NI2w.
+    for workload in [Workload::Gauss, Workload::Moldyn] {
+        let ni2w = run(workload, 8, NiKind::Ni2w, DeviceLocation::MemoryBus);
+        let cni = run(workload, 8, NiKind::Cni16Q, DeviceLocation::MemoryBus);
+        assert!(
+            cni < ni2w,
+            "{workload}: CNI16Q ({cni}) should finish before NI2w ({ni2w})"
+        );
+    }
+}
+
+#[test]
+fn io_bus_is_slower_than_memory_bus_for_the_same_ni() {
+    let mem = run(Workload::Gauss, 4, NiKind::Cni512Q, DeviceLocation::MemoryBus);
+    let io = run(Workload::Gauss, 4, NiKind::Cni512Q, DeviceLocation::IoBus);
+    assert!(io > mem, "I/O-bus run ({io}) should be slower than memory-bus run ({mem})");
+}
+
+#[test]
+fn cache_bus_ni2w_is_an_upper_bound_for_microbenchmarks() {
+    let params = LatencyParams {
+        message_bytes: 64,
+        iterations: 8,
+    };
+    let cache = round_trip_latency(&MachineConfig::isca96_cache_bus(2), &params);
+    let memory = round_trip_latency(&MachineConfig::isca96(2, NiKind::Ni2w), &params);
+    let io = round_trip_latency(&MachineConfig::isca96_io(2, NiKind::Ni2w), &params);
+    assert!(cache.round_trip_cycles < memory.round_trip_cycles);
+    assert!(memory.round_trip_cycles < io.round_trip_cycles);
+}
+
+#[test]
+fn figure6_ordering_cnis_beat_ni2w_on_both_buses() {
+    let params = LatencyParams {
+        message_bytes: 128,
+        iterations: 8,
+    };
+    for location in [DeviceLocation::MemoryBus, DeviceLocation::IoBus] {
+        let ni2w = round_trip_latency(&MachineConfig::for_bus(2, NiKind::Ni2w, location), &params);
+        let cniq =
+            round_trip_latency(&MachineConfig::for_bus(2, NiKind::Cni512Q, location), &params);
+        assert!(
+            cniq.round_trip_cycles < ni2w.round_trip_cycles,
+            "{location:?}: CNI512Q ({}) should beat NI2w ({})",
+            cniq.round_trip_cycles,
+            ni2w.round_trip_cycles
+        );
+    }
+}
+
+#[test]
+fn figure7_ordering_cnis_sustain_more_bandwidth() {
+    let params = BandwidthParams {
+        message_bytes: 2048,
+        messages: 32,
+    };
+    let ni2w = stream_bandwidth(&MachineConfig::isca96(2, NiKind::Ni2w), &params);
+    let cni = stream_bandwidth(&MachineConfig::isca96(2, NiKind::Cni512Q), &params);
+    let qm = stream_bandwidth(&MachineConfig::isca96(2, NiKind::Cni16Qm), &params);
+    assert!(cni.mbytes_per_sec > ni2w.mbytes_per_sec);
+    assert!(qm.mbytes_per_sec > ni2w.mbytes_per_sec);
+    // Relative bandwidth is expressed against the two-processor local-queue
+    // maximum and must stay in a sane range.
+    assert!(cni.relative > 0.0 && cni.relative <= 1.1);
+}
+
+#[test]
+fn snarfing_does_not_hurt_bandwidth() {
+    let params = BandwidthParams {
+        message_bytes: 1024,
+        messages: 48,
+    };
+    let base = stream_bandwidth(&MachineConfig::isca96(2, NiKind::Cni16Qm), &params);
+    let snarf = stream_bandwidth(
+        &MachineConfig::isca96(2, NiKind::Cni16Qm).with_snarfing(),
+        &params,
+    );
+    assert!(
+        snarf.mbytes_per_sec >= base.mbytes_per_sec * 0.99,
+        "snarfing ({:.1} MB/s) should not fall below the baseline ({:.1} MB/s)",
+        snarf.mbytes_per_sec,
+        base.mbytes_per_sec
+    );
+}
+
+#[test]
+fn cnis_reduce_memory_bus_occupancy_on_fine_grain_workloads() {
+    let params = WorkloadParams::tiny();
+    let mut busy = Vec::new();
+    for ni in [NiKind::Ni2w, NiKind::Cni512Q] {
+        let cfg = MachineConfig::isca96(4, ni);
+        let mut machine = Machine::new(cfg, Workload::Spsolve.programs(4, &params));
+        let report = machine.run();
+        assert!(report.completed);
+        busy.push(report.memory_bus_busy as f64 / report.cycles as f64);
+    }
+    assert!(
+        busy[1] < busy[0],
+        "CNI512Q occupancy rate ({:.3}) should be below NI2w's ({:.3})",
+        busy[1],
+        busy[0]
+    );
+}

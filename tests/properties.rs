@@ -1,0 +1,140 @@
+//! Property-based tests of the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use cni::core::cq::cachable_queue;
+use cni::core::msg::{fragment_message, AmMessage, Assembler};
+use cni::net::message::{fragments_for_bytes, NodeId, NET_PAYLOAD_BYTES};
+use cni::net::window::SlidingWindow;
+use cni::sim::event::EventQueue;
+use cni::sim::rng::DetRng;
+
+proptest! {
+    /// The host cachable queue behaves exactly like a bounded FIFO for any
+    /// interleaving of sends and receives.
+    #[test]
+    fn cachable_queue_matches_a_reference_fifo(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec(any::<bool>(), 1..500),
+    ) {
+        let (mut tx, mut rx) = cachable_queue::<u64>(capacity);
+        let mut reference = std::collections::VecDeque::new();
+        let mut next = 0u64;
+        for is_send in ops {
+            if is_send {
+                let ok = tx.try_send(next).is_ok();
+                let expected_ok = reference.len() < capacity;
+                prop_assert_eq!(ok, expected_ok);
+                if ok {
+                    reference.push_back(next);
+                }
+                next += 1;
+            } else {
+                let got = rx.try_recv();
+                let expected = reference.pop_front();
+                prop_assert_eq!(got, expected);
+            }
+        }
+        // Drain what is left: order must match the reference exactly.
+        while let Some(expected) = reference.pop_front() {
+            prop_assert_eq!(rx.try_recv(), Some(expected));
+        }
+        prop_assert_eq!(rx.try_recv(), None);
+    }
+
+    /// Fragmentation always covers the full payload with fragments of at most
+    /// the network payload size, and reassembly completes exactly on the last
+    /// fragment regardless of arrival order.
+    #[test]
+    fn fragmentation_reassembly_round_trip(
+        bytes in 0usize..10_000,
+        handler in any::<u16>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let frags = fragment_message(NodeId(3), NodeId(1), 42, AmMessage::new(handler, bytes, vec![7]));
+        prop_assert_eq!(frags.len(), fragments_for_bytes(bytes));
+        prop_assert_eq!(frags.iter().map(|f| f.payload_bytes).sum::<usize>(), bytes);
+        prop_assert!(frags.iter().all(|f| f.payload_bytes <= NET_PAYLOAD_BYTES));
+
+        // Reassemble in a shuffled order.
+        let mut order: Vec<usize> = (0..frags.len()).collect();
+        DetRng::new(shuffle_seed).shuffle(&mut order);
+        let mut assembler = Assembler::new();
+        let mut completed = None;
+        for (count, &i) in order.iter().enumerate() {
+            let result = assembler.push(frags[i].clone());
+            if count + 1 < frags.len() {
+                prop_assert!(result.is_none());
+            } else {
+                completed = result;
+            }
+        }
+        let msg = completed.expect("last fragment completes the message");
+        prop_assert_eq!(msg.handler, handler);
+        prop_assert_eq!(msg.bytes, bytes);
+        prop_assert_eq!(msg.src, NodeId(3));
+    }
+
+    /// The sliding window never admits more than its limit per destination
+    /// and always recovers after releases.
+    #[test]
+    fn sliding_window_invariants(
+        limit in 1usize..8,
+        ops in proptest::collection::vec((0usize..4, any::<bool>()), 1..200),
+    ) {
+        let mut window = SlidingWindow::new(limit);
+        let mut in_flight = vec![0usize; 4];
+        for (dst, acquire) in ops {
+            let node = NodeId(dst);
+            if acquire {
+                let ok = window.try_acquire(node);
+                prop_assert_eq!(ok, in_flight[dst] < limit);
+                if ok {
+                    in_flight[dst] += 1;
+                }
+            } else if in_flight[dst] > 0 {
+                window.release(node);
+                in_flight[dst] -= 1;
+            }
+            prop_assert!(window.in_flight(node) <= limit);
+            prop_assert_eq!(window.in_flight(node), in_flight[dst]);
+        }
+        prop_assert_eq!(window.total_in_flight(), in_flight.iter().sum::<usize>());
+    }
+
+    /// The event queue always pops events in non-decreasing time order and
+    /// preserves FIFO order among same-cycle events.
+    #[test]
+    fn event_queue_ordering(
+        times in proptest::collection::vec(0u64..1000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut popped = 0;
+        while let Some((at, (t, i))) = q.pop() {
+            popped += 1;
+            prop_assert_eq!(at, t);
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "ordering violated");
+            }
+            last = Some((t, i));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Deterministic RNG: same seed, same stream; bounded values stay in
+    /// range.
+    #[test]
+    fn det_rng_is_deterministic_and_bounded(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..100 {
+            let x = a.gen_range(bound);
+            prop_assert_eq!(x, b.gen_range(bound));
+            prop_assert!(x < bound);
+        }
+    }
+}
