@@ -1,16 +1,72 @@
-//! Criterion bench of the host-usable cachable queue (`cni_core::cq`)
-//! against `std::sync::mpsc`, exercising the same single-producer /
-//! single-consumer pattern the paper's CQs target.
+//! Criterion benches of the simulator's queue hot paths.
+//!
+//! Two groups:
+//!
+//! * `event_queue` — head-to-head comparison of the two `cni_sim::EventQueue`
+//!   backends (binary heap vs hierarchical timing wheel) under a
+//!   hold-and-churn pattern shaped like the machine model's event loop: a
+//!   standing population of pending events, each pop followed by a reschedule
+//!   a short distance into the future, plus occasional far-future events that
+//!   exercise the wheel's higher levels. The wheel must win — that is the
+//!   tentpole claim of the zero-allocation hot-path work.
+//! * `host_cq` — the host-usable cachable queue (`cni_core::cq`) against
+//!   `std::sync::mpsc`, exercising the same single-producer /
+//!   single-consumer pattern the paper's CQs target.
 
 use std::sync::mpsc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cni_core::cq::cachable_queue;
+use cni_sim::event::{EventQueue, QueueBackend};
+use cni_sim::rng::DetRng;
 
 const MESSAGES: usize = 10_000;
+const CHURN_OPS: usize = 10_000;
 
-fn bench_queues(c: &mut Criterion) {
+/// One simulated event-loop run: build a standing population of `pending`
+/// events, churn pop→reschedule `CHURN_OPS` times, then drain.
+fn event_queue_churn(backend: QueueBackend, pending: usize) -> u64 {
+    let mut q = EventQueue::with_backend(backend);
+    let mut rng = DetRng::new(0xBEEF);
+    for i in 0..pending as u64 {
+        q.schedule(rng.gen_range(1 << 12), i);
+    }
+    let mut acc = 0u64;
+    for step in 0..CHURN_OPS {
+        let (at, ev) = q.pop().expect("population never drains during churn");
+        acc = acc.wrapping_add(at ^ ev);
+        // Mostly near-future reschedules (bus transactions, processor steps),
+        // occasionally a distant one (idle timeouts, retry backoff).
+        let delta = if step % 64 == 0 {
+            1 + rng.gen_range(1 << 16)
+        } else {
+            1 + rng.gen_range(512)
+        };
+        q.schedule(at + delta, ev);
+    }
+    while let Some((at, ev)) = q.pop() {
+        acc = acc.wrapping_add(at ^ ev);
+    }
+    acc
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(20);
+    for backend in [QueueBackend::BinaryHeap, QueueBackend::TimingWheel] {
+        for pending in [64usize, 1024, 8192] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.to_string(), pending),
+                &pending,
+                |b, &pending| b.iter(|| event_queue_churn(backend, pending)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_host_cq(c: &mut Criterion) {
     let mut group = c.benchmark_group("host_cq");
     group.sample_size(20);
 
@@ -41,5 +97,5 @@ fn bench_queues(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queues);
+criterion_group!(benches, bench_event_queue, bench_host_cq);
 criterion_main!(benches);

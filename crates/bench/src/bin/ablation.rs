@@ -6,9 +6,7 @@
 //! Run with `cargo run --release -p cni-bench --bin ablation [quick]`.
 
 use cni_core::machine::MachineConfig;
-use cni_core::micro::{
-    round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams,
-};
+use cni_core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
 use cni_nic::cq_model::CqOptimizations;
 use cni_nic::taxonomy::NiKind;
 

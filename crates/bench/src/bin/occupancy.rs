@@ -22,10 +22,22 @@ fn main() {
 
     println!("Table 2 cost model in use (processor cycles):");
     let t = TimingConfig::isca96();
-    println!("  uncached 8-byte load   mem {:>3}  I/O {:>3}", t.uncached_load_memory_bus, t.uncached_load_io_bus);
-    println!("  uncached 8-byte store  mem {:>3}  I/O {:>3}", t.uncached_store_memory_bus, t.uncached_store_io_bus);
-    println!("  64-byte CNI->CPU       mem {:>3}  I/O {:>3}", t.c2c_from_device_memory_bus, t.c2c_from_device_io_bus);
-    println!("  64-byte CPU->CNI       mem {:>3}  I/O {:>3}", t.c2c_to_device_memory_bus, t.c2c_to_device_io_bus);
+    println!(
+        "  uncached 8-byte load   mem {:>3}  I/O {:>3}",
+        t.uncached_load_memory_bus, t.uncached_load_io_bus
+    );
+    println!(
+        "  uncached 8-byte store  mem {:>3}  I/O {:>3}",
+        t.uncached_store_memory_bus, t.uncached_store_io_bus
+    );
+    println!(
+        "  64-byte CNI->CPU       mem {:>3}  I/O {:>3}",
+        t.c2c_from_device_memory_bus, t.c2c_from_device_io_bus
+    );
+    println!(
+        "  64-byte CPU->CNI       mem {:>3}  I/O {:>3}",
+        t.c2c_to_device_memory_bus, t.c2c_to_device_io_bus
+    );
     println!("  64-byte memory<->cache mem {:>3}", t.memory_transfer);
 
     println!("\nMemory-bus occupancy on the memory bus ({nodes} nodes):");
@@ -45,7 +57,10 @@ fn main() {
             row.total_cycles,
             row.reduction_vs_ni2w * 100.0
         );
-        reductions.entry(row.ni).or_default().push(row.reduction_vs_ni2w);
+        reductions
+            .entry(row.ni)
+            .or_default()
+            .push(row.reduction_vs_ni2w);
     }
 
     println!("\nAverage occupancy reduction vs NI2w (paper: ~23% for CNI4, up to ~66% for CQ-based CNIs):");

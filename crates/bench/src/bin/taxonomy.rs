@@ -26,7 +26,10 @@ fn main() {
             QueueHome::Device => "device",
             QueueHome::MainMemory => "main memory",
         };
-        println!("{:>10} {:>22} {:>12} {:>14}", spec.label, exposed, pointers, home);
+        println!(
+            "{:>10} {:>22} {:>12} {:>14}",
+            spec.label, exposed, pointers, home
+        );
     }
 
     println!("\nTable 4 (qualitative): CNI vs other network interfaces");

@@ -13,17 +13,48 @@
 //! | Figure 8 (macrobenchmark speedups) | [`fig8_speedups`]     | `cargo run --release -p cni-bench --bin fig8` |
 //! | §5.2 bus-occupancy reduction       | [`occupancy_table`]   | `cargo run --release -p cni-bench --bin occupancy` |
 //! | Table 1 (taxonomy)                 | [`taxonomy_table`]    | `cargo run --release -p cni-bench --bin taxonomy` |
+//!
+//! # Benchmark workflow
+//!
+//! Two distinct kinds of measurement live in this crate — don't mix them up:
+//!
+//! **Simulated results** (the paper's metrics: cycles, speedups, occupancy)
+//! come from the harness binaries above. They are deterministic: the same
+//! inputs produce bit-identical numbers on any machine, regardless of the
+//! event-queue backend. Each binary takes `quick` (tiny inputs, seconds) or
+//! `paper` (Table 3 inputs, slower); `fig8` additionally takes `--json` to
+//! emit the sweep machine-readably and `--backend heap|wheel` to select the
+//! `cni_sim::EventQueue` backend.
+//!
+//! **Simulator performance** (wall-clock of the simulator itself) comes from
+//! the Criterion benches:
+//!
+//! ```text
+//! cargo bench -p cni-bench                      # all benches
+//! cargo bench -p cni-bench --bench queue_ops    # event-queue backends + host CQ
+//! ```
+//!
+//! `queue_ops` is the head-to-head of the `BinaryHeap` vs `TimingWheel`
+//! event-queue backends under machine-loop-shaped churn; `micro_latency`,
+//! `micro_bandwidth` and `macro_speedup` time complete simulated experiments
+//! end to end. The perf trajectory across PRs is recorded in
+//! `BENCH_seed.json` at the repo root, regenerated with:
+//!
+//! ```text
+//! cargo run --release -p cni-bench --bin fig8 -- --json > BENCH_seed.json
+//! ```
+//!
+//! and summarized in ROADMAP.md's Performance section.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};
 
 use cni_core::machine::{Machine, MachineConfig};
-use cni_core::micro::{
-    round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams,
-};
+use cni_core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
 use cni_mem::system::DeviceLocation;
 use cni_nic::taxonomy::{NiKind, NiSpec};
+use cni_sim::event::QueueBackend;
 use cni_sim::time::Cycle;
 use cni_workloads::{Workload, WorkloadParams};
 
@@ -181,7 +212,10 @@ pub struct MacroResult {
 impl MacroResult {
     /// The speedup of a particular NI, if measured.
     pub fn speedup_of(&self, ni: NiKind) -> Option<f64> {
-        self.rows.iter().find(|(k, _, _)| *k == ni).map(|(_, _, s)| *s)
+        self.rows
+            .iter()
+            .find(|(k, _, _)| *k == ni)
+            .map(|(_, _, s)| *s)
     }
 }
 
@@ -201,26 +235,84 @@ pub fn run_workload(workload: Workload, cfg: &MachineConfig, params: &WorkloadPa
 }
 
 /// Measures Figure 8's speedups (normalised to `NI2w` on the memory bus) for
-/// every NI on `location`.
+/// every NI on `location`, using the default event-queue backend.
 pub fn fig8_speedups(
     location: DeviceLocation,
     nodes: usize,
     params: &WorkloadParams,
     workloads: &[Workload],
 ) -> Vec<MacroResult> {
+    fig8_speedups_with_backend(location, nodes, params, workloads, QueueBackend::default())
+}
+
+/// Per-workload execution time of `NI2w` on the memory bus — Figure 8's
+/// normalisation baseline. Deterministic and backend-independent, so callers
+/// producing several panels (like the `fig8` binary) compute it once and
+/// pass it to the `*_with_baselines` variants instead of re-simulating it
+/// per panel.
+pub fn fig8_baselines(
+    nodes: usize,
+    params: &WorkloadParams,
+    workloads: &[Workload],
+    backend: QueueBackend,
+) -> Vec<Cycle> {
     workloads
         .iter()
         .map(|&workload| {
-            let baseline = run_workload(
+            run_workload(
                 workload,
-                &MachineConfig::isca96(nodes, NiKind::Ni2w),
+                &MachineConfig::isca96(nodes, NiKind::Ni2w).with_queue_backend(backend),
                 params,
-            );
+            )
+        })
+        .collect()
+}
+
+/// [`fig8_speedups`] with an explicit event-queue backend, for A/B
+/// simulator-performance measurement (simulated results are identical).
+pub fn fig8_speedups_with_backend(
+    location: DeviceLocation,
+    nodes: usize,
+    params: &WorkloadParams,
+    workloads: &[Workload],
+    backend: QueueBackend,
+) -> Vec<MacroResult> {
+    let baselines = fig8_baselines(nodes, params, workloads, backend);
+    fig8_speedups_with_baselines(location, nodes, params, workloads, backend, &baselines)
+}
+
+/// [`fig8_speedups_with_backend`] reusing precomputed [`fig8_baselines`]
+/// (`baselines[i]` corresponds to `workloads[i]`).
+pub fn fig8_speedups_with_baselines(
+    location: DeviceLocation,
+    nodes: usize,
+    params: &WorkloadParams,
+    workloads: &[Workload],
+    backend: QueueBackend,
+    baselines: &[Cycle],
+) -> Vec<MacroResult> {
+    assert_eq!(
+        workloads.len(),
+        baselines.len(),
+        "one baseline per workload"
+    );
+    workloads
+        .iter()
+        .zip(baselines)
+        .map(|(&workload, &baseline)| {
             let rows = ni_set_for(location)
                 .into_iter()
                 .map(|ni| {
-                    let cfg = MachineConfig::for_bus(nodes, ni, location);
-                    let cycles = run_workload(workload, &cfg, params);
+                    // The memory-bus NI2w row *is* the baseline run — reuse
+                    // it instead of re-simulating the identical deterministic
+                    // machine.
+                    let cycles = if ni == NiKind::Ni2w && location == DeviceLocation::MemoryBus {
+                        baseline
+                    } else {
+                        let cfg =
+                            MachineConfig::for_bus(nodes, ni, location).with_queue_backend(backend);
+                        run_workload(workload, &cfg, params)
+                    };
                     (ni, cycles, baseline as f64 / cycles as f64)
                 })
                 .collect();
@@ -241,14 +333,39 @@ pub fn fig8_alternate_buses(
     params: &WorkloadParams,
     workloads: &[Workload],
 ) -> Vec<MacroResult> {
+    fig8_alternate_buses_with_backend(nodes, params, workloads, QueueBackend::default())
+}
+
+/// [`fig8_alternate_buses`] with an explicit event-queue backend (see
+/// [`fig8_speedups_with_backend`]).
+pub fn fig8_alternate_buses_with_backend(
+    nodes: usize,
+    params: &WorkloadParams,
+    workloads: &[Workload],
+    backend: QueueBackend,
+) -> Vec<MacroResult> {
+    let baselines = fig8_baselines(nodes, params, workloads, backend);
+    fig8_alternate_buses_with_baselines(nodes, params, workloads, backend, &baselines)
+}
+
+/// [`fig8_alternate_buses_with_backend`] reusing precomputed
+/// [`fig8_baselines`] (`baselines[i]` corresponds to `workloads[i]`).
+pub fn fig8_alternate_buses_with_baselines(
+    nodes: usize,
+    params: &WorkloadParams,
+    workloads: &[Workload],
+    backend: QueueBackend,
+    baselines: &[Cycle],
+) -> Vec<MacroResult> {
+    assert_eq!(
+        workloads.len(),
+        baselines.len(),
+        "one baseline per workload"
+    );
     workloads
         .iter()
-        .map(|&workload| {
-            let baseline = run_workload(
-                workload,
-                &MachineConfig::isca96(nodes, NiKind::Ni2w),
-                params,
-            );
+        .zip(baselines)
+        .map(|(&workload, &baseline)| {
             let combos = [
                 (NiKind::Ni2w, DeviceLocation::CacheBus),
                 (NiKind::Cni16Qm, DeviceLocation::MemoryBus),
@@ -257,7 +374,7 @@ pub fn fig8_alternate_buses(
             let rows = combos
                 .into_iter()
                 .map(|(ni, loc)| {
-                    let cfg = MachineConfig::for_bus(nodes, ni, loc);
+                    let cfg = MachineConfig::for_bus(nodes, ni, loc).with_queue_backend(backend);
                     let cycles = run_workload(workload, &cfg, params);
                     (ni, cycles, baseline as f64 / cycles as f64)
                 })
@@ -380,7 +497,10 @@ mod tests {
         let io = fig6_series(DeviceLocation::IoBus, &sizes, 6);
         let mem_cni = mem.iter().find(|s| s.ni == NiKind::Cni512Q).unwrap().points[0].1;
         let io_cni = io.iter().find(|s| s.ni == NiKind::Cni512Q).unwrap().points[0].1;
-        assert!(io_cni > mem_cni, "the I/O bus must be slower than the memory bus");
+        assert!(
+            io_cni > mem_cni,
+            "the I/O bus must be slower than the memory bus"
+        );
     }
 
     #[test]
@@ -390,17 +510,15 @@ mod tests {
         // fine-grain benchmarks need larger inputs before the gap opens up
         // (see EXPERIMENTS.md).
         let params = WorkloadParams::tiny();
-        let results = fig8_speedups(
-            DeviceLocation::MemoryBus,
-            4,
-            &params,
-            &[Workload::Gauss],
-        );
+        let results = fig8_speedups(DeviceLocation::MemoryBus, 4, &params, &[Workload::Gauss]);
         let r = &results[0];
         let ni2w = r.speedup_of(NiKind::Ni2w).unwrap();
         let qm = r.speedup_of(NiKind::Cni16Qm).unwrap();
         let q16 = r.speedup_of(NiKind::Cni16Q).unwrap();
-        assert!((ni2w - 1.0).abs() < 1e-9, "the baseline must have speedup 1.0");
+        assert!(
+            (ni2w - 1.0).abs() < 1e-9,
+            "the baseline must have speedup 1.0"
+        );
         assert!(qm > 1.0, "CNI16Qm should speed gauss up (got {qm:.2})");
         assert!(q16 > 1.0, "CNI16Q should speed gauss up (got {q16:.2})");
     }

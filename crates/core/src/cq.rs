@@ -199,7 +199,7 @@ impl<T> CqSender<T> {
         slot.valid.store(sense_word(self.sense), Ordering::Release);
         self.tail += 1;
         self.ring.tail.store(self.tail, Ordering::Release);
-        if self.tail % capacity == 0 {
+        if self.tail.is_multiple_of(capacity) {
             self.sense = !self.sense;
         }
         Ok(())
@@ -217,7 +217,7 @@ impl<T> CqSender<T> {
                 Err(QueueFull(v)) => {
                     value = v;
                     spins += 1;
-                    if spins % 64 == 0 {
+                    if spins.is_multiple_of(64) {
                         // Give the consumer a chance to run on small machines.
                         std::thread::yield_now();
                     } else {
@@ -271,7 +271,7 @@ impl<T> CqReceiver<T> {
         // Sense reverse: no write to the slot's valid word is needed.
         self.head += 1;
         self.ring.head.store(self.head, Ordering::Release);
-        if self.head % capacity == 0 {
+        if self.head.is_multiple_of(capacity) {
             self.sense = !self.sense;
         }
         value
@@ -285,7 +285,7 @@ impl<T> CqReceiver<T> {
                 return v;
             }
             spins += 1;
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 // Give the producer a chance to run on small machines.
                 std::thread::yield_now();
             } else {
@@ -327,7 +327,7 @@ impl<T> std::fmt::Debug for CqReceiver<T> {
 /// ```
 #[derive(Debug)]
 pub struct CdrChannel<T> {
-    state: parking_lot::Mutex<Option<T>>,
+    state: std::sync::Mutex<Option<T>>,
 }
 
 impl<T> Default for CdrChannel<T> {
@@ -340,8 +340,14 @@ impl<T> CdrChannel<T> {
     /// Creates an empty CDR channel.
     pub fn new() -> Self {
         CdrChannel {
-            state: parking_lot::Mutex::new(None),
+            state: std::sync::Mutex::new(None),
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<T>> {
+        // A poisoned lock would mean a writer panicked mid-`Option` update;
+        // the `Option` is always left in a valid state, so recover.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Publishes a value.
@@ -351,7 +357,7 @@ impl<T> CdrChannel<T> {
     /// Returns the value back if the register still holds unconsumed data
     /// (the reader has not issued the clear handshake yet).
     pub fn publish(&self, value: T) -> Result<(), T> {
-        let mut guard = self.state.lock();
+        let mut guard = self.lock();
         if guard.is_some() {
             Err(value)
         } else {
@@ -366,17 +372,17 @@ impl<T> CdrChannel<T> {
     where
         T: Clone,
     {
-        self.state.lock().clone()
+        self.lock().clone()
     }
 
     /// The explicit reuse handshake: marks the register empty.
     pub fn clear(&self) {
-        *self.state.lock() = None;
+        *self.lock() = None;
     }
 
     /// Whether the register currently holds a value.
     pub fn is_occupied(&self) -> bool {
-        self.state.lock().is_some()
+        self.lock().is_some()
     }
 }
 
@@ -481,24 +487,23 @@ mod tests {
     }
 
     #[test]
-    fn crossbeam_scoped_stress_with_bursty_producer() {
+    fn scoped_stress_with_bursty_producer() {
         let (mut tx, mut rx) = cachable_queue::<u32>(8);
-        crossbeam::scope(|s| {
-            s.spawn(move |_| {
+        thread::scope(|s| {
+            s.spawn(move || {
                 for burst in 0..100u32 {
                     for i in 0..37 {
                         tx.send_blocking(burst * 37 + i);
                     }
                 }
             });
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for expected in 0..100u32 * 37 {
                     assert_eq!(rx.recv_blocking(), expected);
                 }
                 assert_eq!(rx.try_recv(), None);
             });
-        })
-        .unwrap();
+        });
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! crate provides:
 //!
 //! * [`cq`] — a host-usable, cache-line-aligned single-producer
-//!   single-consumer queue implementing exactly the CQ algorithm (valid bits
-//!   + sense reverse + lazy shadow pointers), plus a single-slot CDR-style
-//!   channel. These run on real shared memory and are independently useful.
+//!   single-consumer queue implementing exactly the CQ algorithm (valid
+//!   bits + sense reverse + lazy shadow pointers), plus a single-slot
+//!   CDR-style channel. These run on real shared memory and are
+//!   independently useful.
 //! * [`msg`] — the user-level messaging layer the simulated machines run:
 //!   active messages, fragmentation/reassembly to 256-byte network messages,
 //!   software buffering for overflow, and split-phase barriers.

@@ -6,6 +6,7 @@ use cni_mem::system::DeviceLocation;
 use cni_mem::timing::TimingConfig;
 use cni_nic::cq_model::CqOptimizations;
 use cni_nic::taxonomy::NiKind;
+use cni_sim::event::QueueBackend;
 use cni_sim::time::Cycle;
 
 /// Configuration of a simulated parallel machine (§4.1).
@@ -35,6 +36,11 @@ pub struct MachineConfig {
     /// Hard stop for the simulation (guards against livelock in buggy
     /// workloads).
     pub max_cycles: Cycle,
+    /// Event-queue backend driving the machine's discrete-event loop. Both
+    /// backends are deterministic and pop-order identical; the timing wheel
+    /// (the default) is the fast, allocation-free one, the binary heap is
+    /// kept for A/B measurement.
+    pub queue_backend: QueueBackend,
 }
 
 impl MachineConfig {
@@ -57,6 +63,7 @@ impl MachineConfig {
             recv_batch: 8,
             delivery_retry_interval: 64,
             max_cycles: 2_000_000_000,
+            queue_backend: QueueBackend::default(),
         }
     }
 
@@ -122,6 +129,13 @@ impl MachineConfig {
         self
     }
 
+    /// Returns a copy using the given event-queue backend (A/B perf
+    /// measurement; results are identical either way).
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.queue_backend = backend;
+        self
+    }
+
     /// The per-node memory-system configuration implied by this machine
     /// configuration.
     pub fn node_mem_config(&self) -> cni_mem::system::NodeMemConfig {
@@ -133,7 +147,7 @@ impl MachineConfig {
                 self.ni_kind.spec().device_cache_blocks
             },
             device_location: self.device_location,
-            timing: self.timing.clone(),
+            timing: self.timing,
             snarfing: self.snarfing,
         }
     }
@@ -185,8 +199,10 @@ mod tests {
         let cfg = MachineConfig::isca96(2, NiKind::Cni16Qm).with_snarfing();
         assert!(cfg.snarfing);
         assert!(cfg.node_mem_config().snarfing);
-        let mut opts = CqOptimizations::default();
-        opts.sense_reverse = false;
+        let opts = CqOptimizations {
+            sense_reverse: false,
+            ..CqOptimizations::default()
+        };
         let cfg = cfg.with_cq_opts(opts);
         assert!(!cfg.cq_opts.sense_reverse);
     }

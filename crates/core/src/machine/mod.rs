@@ -122,11 +122,12 @@ impl Machine {
         );
         let nodes = (0..cfg.nodes).map(|i| NodeCore::new(i, &cfg)).collect();
         let fabric = Fabric::new(cfg.timing.network_latency);
+        let events = EventQueue::with_backend(cfg.queue_backend);
         Machine {
             cfg,
             nodes,
             programs,
-            events: EventQueue::new(),
+            events,
             fabric,
             finished_at: None,
         }
@@ -263,20 +264,22 @@ impl Machine {
                 node.stats.send_full_retries += 1;
                 break;
             }
-            let payload = front.clone();
-            let token = node.tx_tokens.insert(payload.clone());
-            let frag = FragRef::new(token, payload.payload_bytes);
+            // Move the payload into the token arena (no clones on this path);
+            // a refused fragment is moved back to the buffer's front below.
+            let payload = node.outgoing.pop().expect("front() was Some");
+            let payload_bytes = payload.payload_bytes;
+            let token = node.tx_tokens.insert(payload);
+            let frag = FragRef::new(token, payload_bytes);
             match node.ni.proc_send(t, &mut node.mem, frag) {
                 SendOutcome::Accepted { done } => {
                     t = done;
                     assert!(node.window.try_acquire(dst), "window checked above");
-                    node.outgoing.pop();
                     node.stats.sent_fragments += 1;
                     did_work = true;
                 }
                 SendOutcome::Full { done } => {
                     t = done;
-                    node.tx_tokens.take(token);
+                    node.outgoing.push_front(node.tx_tokens.take(token));
                     node.stats.send_full_retries += 1;
                     break;
                 }
@@ -329,9 +332,9 @@ impl Machine {
                     .expect("peeked fragment must be injectable");
                 let payload = node.tx_tokens.take(frag.token);
                 let dst = payload.dst;
-                let delivery =
-                    self.fabric
-                        .send(ready, src, dst, frag.payload_bytes, payload);
+                let delivery = self
+                    .fabric
+                    .send(ready, src, dst, frag.payload_bytes, payload);
                 self.events.schedule(
                     delivery.arrives_at,
                     Event::NetArrival(dst.index(), delivery.message.payload),
@@ -350,23 +353,23 @@ impl Machine {
 
     fn deliver(&mut self, idx: usize, frag: FragPayload, now: Cycle) {
         let src_index = frag.src.index();
+        let payload_bytes = frag.payload_bytes;
+        // Move the payload into the receive arena (no clones on this path);
+        // a refused delivery moves it back out for the retry event.
         let (outcome, wake_at) = {
             let node = &mut self.nodes[idx];
-            let token = node.rx_tokens.insert(frag.clone());
-            let frag_ref = FragRef::new(token, frag.payload_bytes);
+            let token = node.rx_tokens.insert(frag);
+            let frag_ref = FragRef::new(token, payload_bytes);
             match node.ni.device_deliver(now, &mut node.mem, frag_ref) {
                 DeliverOutcome::Accepted { done } => {
                     let wake = node.idle_since.is_some().then_some(done);
-                    (Some(done), wake)
+                    (Ok(done), wake)
                 }
-                DeliverOutcome::Refused => {
-                    node.rx_tokens.take(token);
-                    (None, None)
-                }
+                DeliverOutcome::Refused => (Err(node.rx_tokens.take(token)), None),
             }
         };
         match outcome {
-            Some(done) => {
+            Ok(done) => {
                 // Acknowledge back to the sender's sliding window.
                 self.events.schedule(
                     self.fabric.ack_arrival(done),
@@ -379,7 +382,7 @@ impl Machine {
                     self.schedule_step(idx, at);
                 }
             }
-            None => {
+            Err(frag) => {
                 // Backpressure: the message waits in the network and the
                 // delivery is retried.
                 self.events.schedule(
@@ -409,8 +412,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn all_done(&self) -> bool {
-        self.programs.iter().all(|p| p.is_done())
-            && self.nodes.iter().all(|n| n.is_quiescent())
+        self.programs.iter().all(|p| p.is_done()) && self.nodes.iter().all(|n| n.is_quiescent())
     }
 
     fn current_completion_time(&self) -> Cycle {
@@ -423,7 +425,9 @@ impl Machine {
     }
 
     fn report(&self) -> RunReport {
-        let cycles = self.finished_at.unwrap_or_else(|| self.current_completion_time());
+        let cycles = self
+            .finished_at
+            .unwrap_or_else(|| self.current_completion_time());
         let memory_bus_busy_per_node: Vec<Cycle> = self
             .nodes
             .iter()
@@ -433,7 +437,11 @@ impl Machine {
             completed: self.finished_at.is_some(),
             cycles,
             memory_bus_busy: memory_bus_busy_per_node.iter().sum(),
-            io_bus_busy: self.nodes.iter().map(|n| n.mem.io_bus().busy_cycles()).sum(),
+            io_bus_busy: self
+                .nodes
+                .iter()
+                .map(|n| n.mem.io_bus().busy_cycles())
+                .sum(),
             memory_bus_busy_per_node,
             fabric: self.fabric.stats(),
             node_stats: self.nodes.iter().map(|n| n.stats).collect(),
@@ -521,7 +529,10 @@ mod tests {
             let catcher = machine.program_as::<Catcher>(1).unwrap();
             assert_eq!(catcher.got, 20, "{kind}: lost messages");
             assert_eq!(catcher.last_value, 19, "{kind}: messages out of order");
-            assert_eq!(report.fabric.messages, 20, "{kind}: unexpected fabric traffic");
+            assert_eq!(
+                report.fabric.messages, 20,
+                "{kind}: unexpected fabric traffic"
+            );
             assert!(report.cycles > 0);
         }
     }

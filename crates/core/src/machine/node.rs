@@ -13,7 +13,7 @@ use cni_nic::ni2w::Ni2wDevice;
 use cni_nic::taxonomy::NiKind;
 use cni_sim::time::Cycle;
 
-use crate::msg::{AmMessage, Assembler, OutgoingBuffer, TokenTable};
+use crate::msg::{AmMessage, Assembler, FragArena, OutgoingBuffer};
 
 use super::config::MachineConfig;
 
@@ -52,10 +52,10 @@ pub struct NodeCore {
     pub ni: Box<dyn NiDevice>,
     /// Sliding-window flow control for outgoing network messages.
     pub window: SlidingWindow,
-    /// Fragments currently inside the NI send queue, keyed by token.
-    pub tx_tokens: TokenTable,
-    /// Fragments currently inside the NI receive queue, keyed by token.
-    pub rx_tokens: TokenTable,
+    /// Fragments currently inside the NI send queue, keyed by arena token.
+    pub tx_tokens: FragArena,
+    /// Fragments currently inside the NI receive queue, keyed by arena token.
+    pub rx_tokens: FragArena,
     /// Reassembly state for incoming fragments.
     pub assembler: Assembler,
     /// Software-buffered outgoing fragments not yet accepted by the NI.
@@ -114,8 +114,8 @@ impl NodeCore {
             mem: NodeMemSystem::new(cfg.node_mem_config()),
             ni: build_ni(cfg),
             window: SlidingWindow::new(cfg.window),
-            tx_tokens: TokenTable::new(),
-            rx_tokens: TokenTable::new(),
+            tx_tokens: FragArena::new(),
+            rx_tokens: FragArena::new(),
             assembler: Assembler::new(),
             outgoing: OutgoingBuffer::new(),
             inbox: VecDeque::new(),

@@ -11,7 +11,7 @@ use std::any::Any;
 use cni_net::message::NodeId;
 use cni_sim::time::Cycle;
 
-use crate::msg::{fragment_message, AmMessage};
+use crate::msg::{fragment_message_with, AmMessage};
 
 use super::node::NodeCore;
 
@@ -135,11 +135,13 @@ impl<'a> ProcCtx<'a> {
             return;
         }
 
-        let frags = fragment_message(self.node.id, dst, msg_id, msg);
-        self.now += SEND_SOFTWARE_OVERHEAD * frags.len() as Cycle;
-        for frag in frags {
-            self.node.outgoing.push(frag);
-        }
+        // Fragments go straight into the outgoing buffer — no intermediate
+        // Vec per message on the send path.
+        let outgoing = &mut self.node.outgoing;
+        let count = fragment_message_with(self.node.id, dst, msg_id, msg, |frag| {
+            outgoing.push(frag);
+        });
+        self.now += SEND_SOFTWARE_OVERHEAD * count as Cycle;
     }
 
     /// Convenience wrapper: sends a small active message carrying `data`

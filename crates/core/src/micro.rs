@@ -33,8 +33,8 @@ const H_DATA: u16 = 3;
 /// invalidation plus one cache-to-cache transfer per block, plus the word
 /// accesses on both sides and a small amortised pointer overhead.
 pub fn local_queue_max_bandwidth_mbps(timing: &TimingConfig) -> f64 {
-    let per_message: Cycle = 4 * (timing.invalidate(BusKind::MemoryBus)
-        + timing.c2c_from_device(BusKind::MemoryBus))
+    let per_message: Cycle = 4
+        * (timing.invalidate(BusKind::MemoryBus) + timing.c2c_from_device(BusKind::MemoryBus))
         + 128 * timing.cache_hit
         + 8;
     bytes_per_cycles_to_mbps(256, per_message)
@@ -304,7 +304,10 @@ impl Program for StreamReceiver {
 /// Panics if the configuration has fewer than two nodes or the run does not
 /// complete within the configured cycle budget.
 pub fn stream_bandwidth(cfg: &MachineConfig, params: &BandwidthParams) -> BandwidthReport {
-    assert!(cfg.nodes >= 2, "the bandwidth microbenchmark needs two nodes");
+    assert!(
+        cfg.nodes >= 2,
+        "the bandwidth microbenchmark needs two nodes"
+    );
     let programs: Vec<Box<dyn Program>> = (0..cfg.nodes)
         .map(|i| -> Box<dyn Program> {
             match i {
@@ -431,6 +434,9 @@ mod tests {
             cni_large.mbytes_per_sec,
             ni2w.mbytes_per_sec
         );
-        assert!(cni_large.relative <= 1.05, "relative bandwidth should not exceed the local maximum by much");
+        assert!(
+            cni_large.relative <= 1.05,
+            "relative bandwidth should not exceed the local maximum by much"
+        );
     }
 }

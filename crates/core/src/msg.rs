@@ -89,28 +89,47 @@ pub fn fragment_message(
     src: NodeId,
     dst: NodeId,
     msg_id: u64,
-    mut message: AmMessage,
+    message: AmMessage,
 ) -> Vec<FragPayload> {
+    let mut frags = Vec::with_capacity(fragments_for_bytes(message.bytes));
+    fragment_message_with(src, dst, msg_id, message, |frag| frags.push(frag));
+    frags
+}
+
+/// Splits a user message into fragments, handing each to `sink` — the
+/// allocation-free core of [`fragment_message`], used by the machine's send
+/// path to append fragments straight into a node's [`OutgoingBuffer`] without
+/// materialising an intermediate `Vec` per message.
+///
+/// Returns the number of fragments produced.
+pub fn fragment_message_with(
+    src: NodeId,
+    dst: NodeId,
+    msg_id: u64,
+    mut message: AmMessage,
+    mut sink: impl FnMut(FragPayload),
+) -> usize {
     message.src = src;
     let total = message.bytes;
     let count = fragments_for_bytes(total);
     let shared = Arc::new(message);
     let mut remaining = total;
-    (0..count)
-        .map(|i| {
-            let payload_bytes = remaining.min(NET_PAYLOAD_BYTES).max(if total == 0 { 0 } else { 1 });
-            remaining = remaining.saturating_sub(payload_bytes);
-            FragPayload {
-                src,
-                dst,
-                msg_id,
-                frag_index: i as u32,
-                frag_count: count as u32,
-                payload_bytes,
-                message: Arc::clone(&shared),
-            }
-        })
-        .collect()
+    for i in 0..count {
+        let payload_bytes = remaining
+            .min(NET_PAYLOAD_BYTES)
+            .max(if total == 0 { 0 } else { 1 });
+        remaining = remaining.saturating_sub(payload_bytes);
+        sink(FragPayload {
+            src,
+            dst,
+            msg_id,
+            frag_index: i as u32,
+            frag_count: count as u32,
+            payload_bytes,
+            message: Arc::clone(&shared),
+        });
+    }
+    count
 }
 
 /// Reassembles fragments back into user messages at the receiver.
@@ -128,17 +147,33 @@ impl Assembler {
 
     /// Accepts one fragment; returns the completed message when the last
     /// fragment of a user message arrives.
+    ///
+    /// The fragment is consumed: when the final fragment's arrival leaves the
+    /// assembler holding the only reference to the shared message, the
+    /// message is moved out instead of cloned, so steady-state reassembly
+    /// never copies payload data.
     pub fn push(&mut self, frag: FragPayload) -> Option<AmMessage> {
         let key = (frag.src, frag.msg_id);
-        let entry = self
-            .partial
-            .entry(key)
-            .or_insert_with(|| (0, Arc::clone(&frag.message)));
-        entry.0 += 1;
-        if entry.0 >= frag.frag_count {
-            let (_, msg) = self.partial.remove(&key).expect("entry just inserted");
+        let frag_count = frag.frag_count;
+        let FragPayload { message, .. } = frag;
+        let arrived = match self.partial.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // Drop this fragment's reference before the completion check
+                // so `Arc::try_unwrap` below can succeed.
+                drop(message);
+                let e = e.get_mut();
+                e.0 += 1;
+                e.0
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((1, message));
+                1
+            }
+        };
+        if arrived >= frag_count {
+            let (_, msg) = self.partial.remove(&key).expect("entry just updated");
             self.completed += 1;
-            Some(AmMessage::clone(&msg))
+            Some(Arc::try_unwrap(msg).unwrap_or_else(|shared| AmMessage::clone(&shared)))
         } else {
             None
         }
@@ -155,54 +190,126 @@ impl Assembler {
     }
 }
 
-/// Sender-side token table: maps the opaque tokens that flow through the NI
-/// queues back to fragment payloads.
+/// A slab arena for in-flight fragment payloads.
+///
+/// The opaque tokens that flow through the NI queue models
+/// ([`cni_nic::frag::FragRef`] carries one) are arena handles: slot index in
+/// the low 32 bits, a generation counter in the high 32 bits so a stale or
+/// double-freed token is caught immediately instead of silently resolving to
+/// the wrong fragment. Freed slots go on a free list and are reused, so in
+/// steady state insert/take perform **no allocation** — this replaced a
+/// `HashMap<u64, FragPayload>` that hashed and rehashed every fragment twice
+/// per hop on the simulator's hot path.
 #[derive(Debug, Default)]
-pub struct TokenTable {
-    next: u64,
-    entries: HashMap<u64, FragPayload>,
+pub struct FragArena {
+    slots: Vec<ArenaSlot>,
+    free: Vec<u32>,
+    len: usize,
 }
 
-impl TokenTable {
-    /// Creates an empty table.
+#[derive(Debug)]
+enum ArenaSlot {
+    Vacant {
+        generation: u32,
+    },
+    Occupied {
+        generation: u32,
+        payload: FragPayload,
+    },
+}
+
+fn arena_token(index: u32, generation: u32) -> u64 {
+    (u64::from(generation) << 32) | u64::from(index)
+}
+
+impl FragArena {
+    /// Creates an empty arena.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Stores `payload` and returns its token.
     pub fn insert(&mut self, payload: FragPayload) -> u64 {
-        let token = self.next;
-        self.next += 1;
-        self.entries.insert(token, payload);
-        token
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let generation = match *slot {
+                ArenaSlot::Vacant { generation } => generation,
+                ArenaSlot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            *slot = ArenaSlot::Occupied {
+                generation,
+                payload,
+            };
+            arena_token(index, generation)
+        } else {
+            let index = u32::try_from(self.slots.len()).expect("more than 2^32 live fragments");
+            self.slots.push(ArenaSlot::Occupied {
+                generation: 0,
+                payload,
+            });
+            arena_token(index, 0)
+        }
     }
 
     /// Looks up a token without removing it.
     pub fn get(&self, token: u64) -> Option<&FragPayload> {
-        self.entries.get(&token)
+        let index = (token & u64::from(u32::MAX)) as usize;
+        let generation = (token >> 32) as u32;
+        match self.slots.get(index) {
+            Some(ArenaSlot::Occupied {
+                generation: g,
+                payload,
+            }) if *g == generation => Some(payload),
+            _ => None,
+        }
     }
 
-    /// Removes and returns a token's payload.
+    /// Removes and returns a token's payload; the slot is recycled.
     ///
     /// # Panics
     ///
-    /// Panics if the token is unknown — that indicates the NI model lost or
-    /// duplicated a fragment, which is a simulator bug worth failing loudly
-    /// on.
+    /// Panics if the token is unknown or stale — that indicates the NI model
+    /// lost or duplicated a fragment, which is a simulator bug worth failing
+    /// loudly on.
     pub fn take(&mut self, token: u64) -> FragPayload {
-        self.entries
-            .remove(&token)
-            .unwrap_or_else(|| panic!("unknown fragment token {token}"))
+        let index = (token & u64::from(u32::MAX)) as usize;
+        let generation = (token >> 32) as u32;
+        let slot = self
+            .slots
+            .get_mut(index)
+            .unwrap_or_else(|| panic!("unknown fragment token {token}"));
+        match std::mem::replace(
+            slot,
+            ArenaSlot::Vacant {
+                generation: generation.wrapping_add(1),
+            },
+        ) {
+            ArenaSlot::Occupied {
+                generation: g,
+                payload,
+            } if g == generation => {
+                self.free.push(index as u32);
+                self.len -= 1;
+                payload
+            }
+            previous => {
+                // Put whatever was there back before failing so the panic
+                // message, not a corrupted arena, is what the test sees.
+                *slot = previous;
+                panic!("unknown fragment token {token}")
+            }
+        }
     }
 
-    /// Number of live tokens.
+    /// Number of live fragments.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
-    /// Whether the table is empty.
+    /// Whether the arena holds no fragments.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 }
 
@@ -225,6 +332,14 @@ impl OutgoingBuffer {
     /// Appends a fragment.
     pub fn push(&mut self, frag: FragPayload) {
         self.queue.push_back(frag);
+        self.high_water = self.high_water.max(self.queue.len());
+    }
+
+    /// Returns a fragment to the *front* of the buffer — used when the NI
+    /// refused a fragment that had already been popped, so the retry keeps
+    /// the original FIFO order without cloning the payload.
+    pub fn push_front(&mut self, frag: FragPayload) {
+        self.queue.push_front(frag);
         self.high_water = self.high_water.max(self.queue.len());
     }
 
@@ -312,8 +427,7 @@ mod tests {
     #[test]
     fn large_messages_fragment_and_preserve_total_bytes() {
         for bytes in [245, 488, 2048, 4096] {
-            let frags =
-                fragment_message(NodeId(0), NodeId(1), 9, AmMessage::new(2, bytes, vec![]));
+            let frags = fragment_message(NodeId(0), NodeId(1), 9, AmMessage::new(2, bytes, vec![]));
             assert_eq!(frags.len(), fragments_for_bytes(bytes));
             assert_eq!(frags.iter().map(|f| f.payload_bytes).sum::<usize>(), bytes);
             assert!(frags.iter().all(|f| f.payload_bytes <= NET_PAYLOAD_BYTES));
@@ -352,7 +466,7 @@ mod tests {
         let b = fragment_message(NodeId(2), NodeId(0), 0, AmMessage::new(2, 500, vec![]));
         // Interleave fragments from the two senders.
         let mut done = 0;
-        for (fa, fb) in a.into_iter().zip(b.into_iter()) {
+        for (fa, fb) in a.into_iter().zip(b) {
             if asm.push(fa).is_some() {
                 done += 1;
             }
@@ -364,23 +478,53 @@ mod tests {
     }
 
     #[test]
-    fn token_table_round_trips() {
-        let mut table = TokenTable::new();
+    fn frag_arena_round_trips() {
+        let mut arena = FragArena::new();
         let frag = fragment_message(NodeId(0), NodeId(5), 0, AmMessage::new(0, 8, vec![]))
             .pop()
             .unwrap();
-        let token = table.insert(frag.clone());
-        assert_eq!(table.len(), 1);
-        assert_eq!(table.get(token).unwrap().dst, NodeId(5));
-        let back = table.take(token);
+        let token = arena.insert(frag.clone());
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.get(token).unwrap().dst, NodeId(5));
+        let back = arena.take(token);
         assert_eq!(back, frag);
-        assert!(table.is_empty());
+        assert!(arena.is_empty());
     }
 
     #[test]
     #[should_panic(expected = "unknown fragment token")]
     fn taking_an_unknown_token_panics() {
-        TokenTable::new().take(99);
+        FragArena::new().take(99);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fragment token")]
+    fn stale_generation_tokens_are_rejected() {
+        let mut arena = FragArena::new();
+        let frag = fragment_message(NodeId(0), NodeId(1), 0, AmMessage::new(0, 8, vec![]))
+            .pop()
+            .unwrap();
+        let token = arena.insert(frag.clone());
+        arena.take(token);
+        // The slot is recycled with a new generation; the old token is dead.
+        let fresh = arena.insert(frag);
+        assert_ne!(fresh, token);
+        assert!(arena.get(token).is_none());
+        arena.take(token);
+    }
+
+    #[test]
+    fn arena_reuses_slots_without_growing() {
+        let mut arena = FragArena::new();
+        let frag = fragment_message(NodeId(0), NodeId(1), 0, AmMessage::new(0, 8, vec![]))
+            .pop()
+            .unwrap();
+        for _ in 0..1000 {
+            let token = arena.insert(frag.clone());
+            let _ = arena.take(token);
+        }
+        assert!(arena.is_empty());
+        assert_eq!(arena.slots.len(), 1, "churn must reuse the single slot");
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl Bridge {
         memory_bus: &mut Bus,
         io_bus: &mut Bus,
         timing: &TimingConfig,
-        kind: &str,
+        kind: &'static str,
     ) -> BusGrant {
         self.stats.crossings += 1;
         let mut start_request = earliest;
@@ -111,15 +111,13 @@ impl Bridge {
         }
 
         // The transaction cannot cross until both buses can take it.
-        let start = start_request
-            .max(io_bus.free_at())
-            .max(match mode {
-                BridgeMode::Blocking => memory_bus.free_at(),
-                // Buffered transactions only need the memory bus for the
-                // trailing share; it still cannot start before the memory bus
-                // frees up enough, but we approximate by aligning starts.
-                BridgeMode::Buffered => memory_bus.free_at(),
-            });
+        let start = start_request.max(io_bus.free_at()).max(match mode {
+            BridgeMode::Blocking => memory_bus.free_at(),
+            // Buffered transactions only need the memory bus for the
+            // trailing share; it still cannot start before the memory bus
+            // frees up enough, but we approximate by aligning starts.
+            BridgeMode::Buffered => memory_bus.free_at(),
+        });
 
         let io_grant = io_bus.occupy(start, io_occupancy, kind);
         let mem_occupancy = match mode {

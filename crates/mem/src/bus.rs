@@ -8,7 +8,7 @@
 //! falls out of this naturally, which is exactly the effect §5.2 discusses for
 //! `moldyn` on the I/O bus.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use cni_sim::stats::OccupancyTracker;
 use cni_sim::time::Cycle;
@@ -41,7 +41,9 @@ pub struct BusGrant {
 /// assert_eq!(b.start, 42);
 /// assert_eq!(b.wait, 32);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+// No `Deserialize`: contains an `OccupancyTracker`, whose interned static
+// labels are serialize-only.
+#[derive(Debug, Clone, Serialize)]
 pub struct Bus {
     kind: BusKind,
     free_at: Cycle,
@@ -71,8 +73,14 @@ impl Bus {
     }
 
     /// Grants a transaction of `occupancy` cycles that may start no earlier
-    /// than `earliest`; records the occupancy under `txn_kind`.
-    pub fn occupy(&mut self, earliest: Cycle, occupancy: Cycle, txn_kind: &str) -> BusGrant {
+    /// than `earliest`; records the occupancy under `txn_kind` (a static
+    /// label so the hot path stays allocation-free).
+    pub fn occupy(
+        &mut self,
+        earliest: Cycle,
+        occupancy: Cycle,
+        txn_kind: &'static str,
+    ) -> BusGrant {
         let start = earliest.max(self.free_at);
         let end = start + occupancy;
         self.free_at = end;
@@ -92,7 +100,7 @@ impl Bus {
     /// the bus timeline — used to account for the bus cycles an idle,
     /// spin-polling processor burns on uncached status reads (§5.2's
     /// occupancy comparison) without simulating every individual poll.
-    pub fn record_untimed(&mut self, txn_kind: &str, cycles: Cycle) {
+    pub fn record_untimed(&mut self, txn_kind: &'static str, cycles: Cycle) {
         self.occupancy.record(txn_kind, cycles);
     }
 

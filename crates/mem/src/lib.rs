@@ -29,5 +29,5 @@ pub mod timing;
 pub use addr::{BlockAddr, BlockHome, CACHE_BLOCK_BYTES};
 pub use bus::{Bus, BusKind};
 pub use moesi::{Cache, MoesiState, SnoopAction};
-pub use system::{DeviceLocation, NodeMemSystem, NodeMemConfig};
+pub use system::{DeviceLocation, NodeMemConfig, NodeMemSystem};
 pub use timing::TimingConfig;

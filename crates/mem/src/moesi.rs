@@ -152,7 +152,7 @@ impl Cache {
     /// Panics if `size_bytes` is not a positive multiple of the block size.
     pub fn new(name: &str, size_bytes: usize) -> Self {
         assert!(
-            size_bytes >= CACHE_BLOCK_BYTES && size_bytes % CACHE_BLOCK_BYTES == 0,
+            size_bytes >= CACHE_BLOCK_BYTES && size_bytes.is_multiple_of(CACHE_BLOCK_BYTES),
             "cache size must be a positive multiple of {CACHE_BLOCK_BYTES} bytes, got {size_bytes}"
         );
         let num_sets = size_bytes / CACHE_BLOCK_BYTES;
@@ -195,7 +195,9 @@ impl Cache {
 
     /// Current state of `block` (Invalid if not present).
     pub fn lookup(&self, block: BlockAddr) -> MoesiState {
-        self.line(block).map(|l| l.state).unwrap_or(MoesiState::Invalid)
+        self.line(block)
+            .map(|l| l.state)
+            .unwrap_or(MoesiState::Invalid)
     }
 
     /// Classifies a read access without changing state.
@@ -433,7 +435,9 @@ mod tests {
     #[test]
     fn fill_then_hit() {
         let mut cache = Cache::new("t", 1024);
-        assert!(cache.fill(blk(5), MoesiState::Exclusive, BlockHome::Memory).is_none());
+        assert!(cache
+            .fill(blk(5), MoesiState::Exclusive, BlockHome::Memory)
+            .is_none());
         assert_eq!(cache.classify_read(blk(5)), AccessOutcome::Hit);
         assert_eq!(cache.classify_write(blk(5)), AccessOutcome::Hit);
         assert_eq!(cache.misses(), 1);
@@ -454,7 +458,9 @@ mod tests {
         let mut cache = Cache::new("t", 1024); // 16 sets
         cache.fill(blk(1), MoesiState::Modified, BlockHome::Memory);
         // Block 17 maps to the same set as block 1 (17 mod 16 == 1).
-        let ev = cache.fill(blk(17), MoesiState::Exclusive, BlockHome::Memory).unwrap();
+        let ev = cache
+            .fill(blk(17), MoesiState::Exclusive, BlockHome::Memory)
+            .unwrap();
         assert_eq!(ev.block, blk(1));
         assert!(ev.needs_writeback());
         assert_eq!(cache.lookup(blk(1)), MoesiState::Invalid);
@@ -467,7 +473,9 @@ mod tests {
     fn clean_victim_needs_no_writeback() {
         let mut cache = Cache::new("t", 1024);
         cache.fill(blk(2), MoesiState::Shared, BlockHome::Memory);
-        let ev = cache.fill(blk(18), MoesiState::Shared, BlockHome::Memory).unwrap();
+        let ev = cache
+            .fill(blk(18), MoesiState::Shared, BlockHome::Memory)
+            .unwrap();
         assert!(!ev.needs_writeback());
         assert_eq!(cache.writebacks(), 0);
     }

@@ -192,7 +192,7 @@ impl NodeMemSystem {
         if idle_cycles == 0 {
             return;
         }
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         match self.cfg.device_location {
             DeviceLocation::CacheBus => {}
             DeviceLocation::MemoryBus => {
@@ -204,10 +204,8 @@ impl NodeMemSystem {
                 let per = t.uncached_load(BusKind::IoBus);
                 let polls = idle_cycles / per.max(1);
                 self.io_bus.record_untimed("idle_poll", polls * per);
-                self.memory_bus.record_untimed(
-                    "idle_poll",
-                    polls * t.uncached_load(BusKind::MemoryBus),
-                );
+                self.memory_bus
+                    .record_untimed("idle_poll", polls * t.uncached_load(BusKind::MemoryBus));
             }
         }
     }
@@ -221,7 +219,7 @@ impl NodeMemSystem {
     /// Returns the cycle at which the load's value is available to the
     /// processor (loads always stall).
     pub fn proc_uncached_load(&mut self, now: Cycle) -> Cycle {
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         match self.cfg.device_location {
             DeviceLocation::CacheBus => now + t.uncached_load(BusKind::CacheBus),
             DeviceLocation::MemoryBus => {
@@ -254,7 +252,7 @@ impl NodeMemSystem {
     /// stores the processor may proceed earlier; for stores followed by a
     /// memory barrier it must wait for the returned cycle.
     pub fn proc_uncached_store(&mut self, now: Cycle) -> Cycle {
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         match self.cfg.device_location {
             DeviceLocation::CacheBus => now + t.uncached_store(BusKind::CacheBus),
             DeviceLocation::MemoryBus => {
@@ -288,7 +286,7 @@ impl NodeMemSystem {
     ///
     /// Returns the cycle at which the data is available.
     pub fn proc_cached_read(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         match self.proc_cache.classify_read(block) {
             AccessOutcome::Hit => {
                 self.proc_cache.note_hit();
@@ -315,8 +313,8 @@ impl NodeMemSystem {
                     MoesiState::Exclusive
                 };
                 let eviction = self.proc_cache.fill(block, fill_state, home);
-                let done = self.handle_proc_eviction(done, eviction);
-                done
+
+                self.handle_proc_eviction(done, eviction)
             }
         }
     }
@@ -326,7 +324,7 @@ impl NodeMemSystem {
     ///
     /// Returns the cycle at which the store has retired (ownership obtained).
     pub fn proc_cached_write(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         match self.proc_cache.classify_write(block) {
             AccessOutcome::Hit => {
                 self.proc_cache.note_hit();
@@ -385,7 +383,7 @@ impl NodeMemSystem {
     ///
     /// Returns the cycle at which the device holds the data.
     pub fn device_read_block(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         assert!(
             self.cfg.device_location != DeviceLocation::CacheBus,
             "cache-bus devices perform no coherent transactions"
@@ -422,7 +420,7 @@ impl NodeMemSystem {
     ///
     /// Returns the cycle at which the device owns the block.
     pub fn device_write_block(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         assert!(
             self.cfg.device_location != DeviceLocation::CacheBus,
             "cache-bus devices perform no coherent transactions"
@@ -478,8 +476,8 @@ impl NodeMemSystem {
     // Internal transfer helpers
     // ------------------------------------------------------------------
 
-    fn device_to_proc_transfer(&mut self, now: Cycle, kind: &str) -> Cycle {
-        let t = self.cfg.timing.clone();
+    fn device_to_proc_transfer(&mut self, now: Cycle, kind: &'static str) -> Cycle {
+        let t = self.cfg.timing;
         match self.cfg.device_location {
             DeviceLocation::MemoryBus => {
                 self.memory_bus
@@ -505,8 +503,8 @@ impl NodeMemSystem {
         }
     }
 
-    fn proc_to_device_transfer(&mut self, now: Cycle, kind: &str) -> Cycle {
-        let t = self.cfg.timing.clone();
+    fn proc_to_device_transfer(&mut self, now: Cycle, kind: &'static str) -> Cycle {
+        let t = self.cfg.timing;
         match self.cfg.device_location {
             DeviceLocation::MemoryBus => {
                 self.memory_bus
@@ -532,12 +530,10 @@ impl NodeMemSystem {
         }
     }
 
-    fn memory_to_device_transfer(&mut self, now: Cycle, kind: &str) -> Cycle {
-        let t = self.cfg.timing.clone();
+    fn memory_to_device_transfer(&mut self, now: Cycle, kind: &'static str) -> Cycle {
+        let t = self.cfg.timing;
         match self.cfg.device_location {
-            DeviceLocation::MemoryBus => {
-                self.memory_bus.occupy(now, t.memory_transfer, kind).end
-            }
+            DeviceLocation::MemoryBus => self.memory_bus.occupy(now, t.memory_transfer, kind).end,
             DeviceLocation::IoBus => {
                 self.bridge
                     .bridged(
@@ -557,8 +553,8 @@ impl NodeMemSystem {
         }
     }
 
-    fn invalidate_transaction(&mut self, now: Cycle, kind: &str) -> Cycle {
-        let t = self.cfg.timing.clone();
+    fn invalidate_transaction(&mut self, now: Cycle, kind: &'static str) -> Cycle {
+        let t = self.cfg.timing;
         match self.cfg.device_location {
             DeviceLocation::CacheBus | DeviceLocation::MemoryBus => {
                 self.memory_bus
@@ -584,7 +580,7 @@ impl NodeMemSystem {
     }
 
     fn writeback_from_device(&mut self, now: Cycle, block: BlockAddr, home: BlockHome) -> Cycle {
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         let done = match home {
             BlockHome::Device => now, // internal to the device, free
             BlockHome::Memory => match self.cfg.device_location {
@@ -625,7 +621,7 @@ impl NodeMemSystem {
         now: Cycle,
         eviction: Option<crate::moesi::Eviction>,
     ) -> Cycle {
-        let t = self.cfg.timing.clone();
+        let t = self.cfg.timing;
         match eviction {
             Some(ev) if ev.needs_writeback() => match ev.home {
                 BlockHome::Memory => {
@@ -734,7 +730,7 @@ mod tests {
         let mut sys = memory_bus_system();
         let blk = BlockAddr(9);
         sys.proc_cached_read(0, blk, BlockHome::Memory); // Exclusive
-        // Exclusive write hits silently.
+                                                         // Exclusive write hits silently.
         let done = sys.proc_cached_write(50, blk, BlockHome::Memory);
         assert_eq!(done, 51);
         assert_eq!(sys.proc_state(blk), MoesiState::Modified);
@@ -794,7 +790,10 @@ mod tests {
             now = sys.device_write_block(now, BlockAddr(i), BlockHome::Memory);
         }
         let dev = sys.device_cache().unwrap();
-        assert!(dev.writebacks() >= 1, "expected at least one overflow writeback");
+        assert!(
+            dev.writebacks() >= 1,
+            "expected at least one overflow writeback"
+        );
         assert!(sys.memory_bus().occupancy().count_for("device_writeback") >= 1);
     }
 
@@ -805,14 +804,19 @@ mod tests {
         for i in 0..17u64 {
             now = sys.device_write_block(now, BlockAddr(i), BlockHome::Device);
         }
-        assert_eq!(sys.memory_bus().occupancy().count_for("device_writeback"), 0);
+        assert_eq!(
+            sys.memory_bus().occupancy().count_for("device_writeback"),
+            0
+        );
     }
 
     #[test]
     fn snarfing_turns_device_writebacks_into_processor_hits() {
-        let mut cfg = NodeMemConfig::default();
-        cfg.snarfing = true;
-        cfg.device_cache_blocks = Some(1);
+        let cfg = NodeMemConfig {
+            snarfing: true,
+            device_cache_blocks: Some(1),
+            ..NodeMemConfig::default()
+        };
         let mut sys = NodeMemSystem::new(cfg);
         let blk = BlockAddr(3);
         // The processor previously cached the block, then the device took it

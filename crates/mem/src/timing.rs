@@ -46,7 +46,11 @@ impl std::fmt::Display for BusKind {
 }
 
 /// Bus-occupancy cost model (Table 2 plus the two derived constants).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The struct is `Copy` (seventeen plain cycle counts) so the per-access
+/// dispatch in [`crate::system::NodeMemSystem`] can snapshot it into a local
+/// without cloning or fighting the borrow checker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TimingConfig {
     /// Processor cache hit latency in cycles.
     pub cache_hit: Cycle,

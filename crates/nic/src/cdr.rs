@@ -254,7 +254,10 @@ mod tests {
         let out = ni.proc_send(0, &mut m, FragRef::new(0, 100));
         assert!(out.is_accepted());
         let second = ni.proc_send(out.done(), &mut m, FragRef::new(1, 100));
-        assert!(!second.is_accepted(), "CDR is busy until the device reads it");
+        assert!(
+            !second.is_accepted(),
+            "CDR is busy until the device reads it"
+        );
         let (t, frag) = ni.device_take_for_injection(second.done(), &mut m).unwrap();
         assert_eq!(frag.token, 0);
         let third = ni.proc_send(t, &mut m, FragRef::new(2, 100));
@@ -289,17 +292,24 @@ mod tests {
         let mut m = mem();
         let mut ni = device();
         for i in 0..4 {
-            assert!(ni.device_deliver(0, &mut m, FragRef::new(i, 12)).is_accepted());
+            assert!(ni
+                .device_deliver(0, &mut m, FragRef::new(i, 12))
+                .is_accepted());
         }
         assert_eq!(ni.recv_queue_len(), 4);
-        assert!(!ni.device_deliver(0, &mut m, FragRef::new(9, 12)).is_accepted());
+        assert!(!ni
+            .device_deliver(0, &mut m, FragRef::new(9, 12))
+            .is_accepted());
         assert_eq!(ni.recv_refusals(), 1);
         // Receiving the exposed message exposes the next one.
         let poll = ni.proc_poll(0, &mut m);
         let rx = ni.proc_receive(poll.done, &mut m).unwrap();
         assert_eq!(rx.frag.token, 0);
         let poll = ni.proc_poll(rx.done, &mut m);
-        assert!(poll.available, "next buffered message should now be exposed");
+        assert!(
+            poll.available,
+            "next buffered message should now be exposed"
+        );
         assert_eq!(ni.recv_queue_len(), 3);
     }
 
@@ -326,7 +336,9 @@ mod tests {
         // A full 244-byte message costs noticeably more.
         let mut m2 = mem();
         let mut ni2 = device();
-        assert!(ni2.device_deliver(0, &mut m2, FragRef::new(1, 244)).is_accepted());
+        assert!(ni2
+            .device_deliver(0, &mut m2, FragRef::new(1, 244))
+            .is_accepted());
         let poll2 = ni2.proc_poll(500, &mut m2);
         let rx2 = ni2.proc_receive(poll2.done, &mut m2).unwrap();
         assert!(rx2.done - poll2.done > small_cost);

@@ -234,7 +234,11 @@ mod tests {
         let p1 = ni.proc_poll(p0.done, &mut m);
         let p2 = ni.proc_poll(p1.done, &mut m);
         assert!(!p2.available);
-        assert_eq!(p2.done - p1.done, 2, "warm empty poll must hit in the cache");
+        assert_eq!(
+            p2.done - p1.done,
+            2,
+            "warm empty poll must hit in the cache"
+        );
         // Contrast: NI2w pays an uncached load (28 cycles) per poll.
     }
 
@@ -252,7 +256,10 @@ mod tests {
                 DeliverOutcome::Refused => refused_16q += 1,
             }
         }
-        assert!(refused_16q > 0, "CNI16Q's 4-entry queue must refuse part of the burst");
+        assert!(
+            refused_16q > 0,
+            "CNI16Q's 4-entry queue must refuse part of the burst"
+        );
 
         let mut m = mem_for(NiKind::Cni16Qm);
         let mut ni = device(NiKind::Cni16Qm);
@@ -264,7 +271,10 @@ mod tests {
                 DeliverOutcome::Refused => refused_qm += 1,
             }
         }
-        assert_eq!(refused_qm, 0, "CNI16Qm overflows to memory instead of refusing");
+        assert_eq!(
+            refused_qm, 0,
+            "CNI16Qm overflows to memory instead of refusing"
+        );
         assert!(
             m.device_cache().unwrap().writebacks() > 0,
             "the overflow must show up as writebacks to main memory"
@@ -283,10 +293,7 @@ mod tests {
                     accepted += 1;
                     now = done;
                 }
-                SendOutcome::Full { done } => {
-                    now = done;
-                    break;
-                }
+                SendOutcome::Full { .. } => break,
             }
         }
         assert_eq!(accepted, 4, "16-block send queue holds four messages");

@@ -179,14 +179,14 @@ impl CqState {
 
     fn advance_producer(&mut self, capacity: usize) {
         self.tail += 1;
-        if self.tail % capacity as u64 == 0 {
+        if self.tail.is_multiple_of(capacity as u64) {
             self.producer_sense = !self.producer_sense;
         }
     }
 
     fn advance_consumer(&mut self, capacity: usize) {
         self.head += 1;
-        if self.head % capacity as u64 == 0 {
+        if self.head.is_multiple_of(capacity as u64) {
             self.consumer_sense = !self.consumer_sense;
         }
     }
@@ -298,7 +298,9 @@ impl ProcToDeviceCq {
         //    blocks Shared (it read them last pass), so each block write is
         //    an ownership upgrade (one invalidation); the remaining words of
         //    each block hit in the cache.
-        let slot = self.state.slot_of(self.state.tail, self.cfg.capacity_entries);
+        let slot = self
+            .state
+            .slot_of(self.state.tail, self.cfg.capacity_entries);
         let first_block = self.cfg.entry_block(slot);
         for b in 0..frag.blocks() {
             t = mem.proc_cached_write(t, first_block.offset(b as u64), self.cfg.home);
@@ -349,7 +351,9 @@ impl ProcToDeviceCq {
             return None;
         }
         let frag = *self.state.entries.front().expect("non-empty");
-        let slot = self.state.slot_of(self.state.head, self.cfg.capacity_entries);
+        let slot = self
+            .state
+            .slot_of(self.state.head, self.cfg.capacity_entries);
         let first_block = self.cfg.entry_block(slot);
         let mut t = now;
         for b in 0..frag.blocks() {
@@ -446,7 +450,9 @@ impl DeviceToProcCq {
         // processor's copy from the previous pass (one invalidation per
         // block); for memory-homed queues the device cache may overflow,
         // producing writebacks (the CNI16Qm behaviour).
-        let slot = self.state.slot_of(self.state.tail, self.cfg.capacity_entries);
+        let slot = self
+            .state
+            .slot_of(self.state.tail, self.cfg.capacity_entries);
         let first_block = self.cfg.entry_block(slot);
         for b in 0..frag.blocks() {
             t = mem.device_write_block(t, first_block.offset(b as u64), self.cfg.home);
@@ -467,7 +473,9 @@ impl DeviceToProcCq {
             // poll hits in its cache; if the device wrote it, the read misses
             // and fetches the data (which the subsequent receive then finds
             // in the cache).
-            let slot = self.state.slot_of(self.state.head, self.cfg.capacity_entries);
+            let slot = self
+                .state
+                .slot_of(self.state.head, self.cfg.capacity_entries);
             t = mem.proc_cached_read(t, self.cfg.entry_block(slot), self.cfg.home);
         } else {
             // Without valid bits the consumer must read the producer's tail
@@ -496,7 +504,9 @@ impl DeviceToProcCq {
             return None;
         }
         let frag = *self.state.entries.front().expect("non-empty");
-        let slot = self.state.slot_of(self.state.head, self.cfg.capacity_entries);
+        let slot = self
+            .state
+            .slot_of(self.state.head, self.cfg.capacity_entries);
         let first_block = self.cfg.entry_block(slot);
         let mut t = now;
         // Read every block of the message (the first one usually hits thanks
@@ -560,7 +570,12 @@ mod tests {
     #[test]
     fn config_layout_is_disjoint() {
         let mut alloc = RegionAllocator::new();
-        let cfg = CqConfig::allocate(&mut alloc, 16, BlockHome::Device, CqOptimizations::default());
+        let cfg = CqConfig::allocate(
+            &mut alloc,
+            16,
+            BlockHome::Device,
+            CqOptimizations::default(),
+        );
         assert_eq!(cfg.capacity_entries, 4);
         assert_eq!(cfg.entry_block(0), cfg.base);
         assert_eq!(cfg.entry_block(1), cfg.base.offset(4));
@@ -636,8 +651,10 @@ mod tests {
     #[test]
     fn without_lazy_pointers_every_enqueue_reads_the_head() {
         let mut alloc = RegionAllocator::new();
-        let mut opts = CqOptimizations::default();
-        opts.lazy_pointers = false;
+        let opts = CqOptimizations {
+            lazy_pointers: false,
+            ..CqOptimizations::default()
+        };
         let cfg = CqConfig::allocate(&mut alloc, 64, BlockHome::Device, opts);
         let mut q = ProcToDeviceCq::new(cfg);
         let mut mem = mem_system(64);
@@ -730,7 +747,9 @@ mod tests {
                 DeliverOutcome::Refused => panic!("should fit"),
             }
         }
-        assert!(!q.device_enqueue(now, &mut mem, FragRef::new(9, 244)).is_accepted());
+        assert!(!q
+            .device_enqueue(now, &mut mem, FragRef::new(9, 244))
+            .is_accepted());
         assert_eq!(q.stats().full_stalls, 1);
     }
 
@@ -789,8 +808,10 @@ mod tests {
         // Same workload without sense reverse: the consumer's clear of the
         // valid bit adds roughly one coherence action per entry.
         let mut alloc = RegionAllocator::new();
-        let mut opts = CqOptimizations::default();
-        opts.sense_reverse = false;
+        let opts = CqOptimizations {
+            sense_reverse: false,
+            ..CqOptimizations::default()
+        };
         let cfg = CqConfig::allocate(&mut alloc, 64, BlockHome::Device, opts);
         let mut q2 = DeviceToProcCq::new(cfg);
         let mut mem2 = mem_system(64);

@@ -246,9 +246,13 @@ mod tests {
         let mut m = mem(DeviceLocation::MemoryBus);
         let mut ni = Ni2wDevice::new();
         for i in 0..4 {
-            assert!(ni.device_deliver(0, &mut m, FragRef::new(i, 8)).is_accepted());
+            assert!(ni
+                .device_deliver(0, &mut m, FragRef::new(i, 8))
+                .is_accepted());
         }
-        assert!(!ni.device_deliver(0, &mut m, FragRef::new(4, 8)).is_accepted());
+        assert!(!ni
+            .device_deliver(0, &mut m, FragRef::new(4, 8))
+            .is_accepted());
         assert_eq!(ni.recv_refusals(), 1);
     }
 

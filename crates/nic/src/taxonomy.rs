@@ -43,9 +43,7 @@ impl QueueHome {
 }
 
 /// The five network interfaces evaluated by the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum NiKind {
     /// `NI2w` — CM-5-like NI exposing two uncached 4-byte words.
     Ni2w,

@@ -4,36 +4,80 @@
 //! future work as events, and a central loop pops the earliest event and
 //! dispatches it. [`EventQueue`] keeps events ordered by time and, within a
 //! single cycle, by insertion order (FIFO) so simulations are deterministic
-//! regardless of the heap's internal layout.
+//! regardless of the queue's internal layout.
+//!
+//! Two interchangeable backends implement the ordering (selectable through
+//! [`QueueBackend`]):
+//!
+//! * **[`QueueBackend::BinaryHeap`]** — a `std::collections::BinaryHeap` of
+//!   `(time, sequence)`-ordered entries. Every push/pop is `O(log n)` and a
+//!   pop may shuffle `O(log n)` entries through the heap.
+//! * **[`QueueBackend::TimingWheel`]** (the default) — a hierarchical timing
+//!   wheel: eleven levels of 64 one-cycle (level 0) to 64¹⁰-cycle (level 10)
+//!   slots, each with a 64-bit occupancy bitmap. Scheduling is `O(1)`
+//!   (compute level and slot from `time ^ now`, append to the slot's deque);
+//!   popping finds the lowest occupied level with two or three
+//!   `trailing_zeros` instructions and cascades coarse slots toward level 0
+//!   as time advances. Slot deques retain their capacity, so the wheel
+//!   performs **no allocation in steady state** — the property the machine
+//!   model's hot loop depends on.
+//!
+//! Both backends produce *bit-identical* pop sequences (each level-0 slot
+//! holds exactly one cycle, so FIFO-within-cycle is the deque order, and
+//! cascading preserves insertion order); `tests/properties.rs` proves this
+//! over randomized schedules. The one intentional divergence: scheduling an
+//! event *in the past* (disallowed, and caught by a debug assertion) is
+//! clamped to the current cycle by the wheel, while the heap preserves the
+//! stale timestamp ordering.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Cycle;
 
-/// An entry in the queue: time, monotonically increasing sequence number (to
-/// break ties deterministically) and the user event payload.
-struct Entry<E> {
+/// Which data structure an [`EventQueue`] uses internally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum QueueBackend {
+    /// `O(log n)` binary heap (the original backend; kept as the reference
+    /// implementation and for head-to-head benchmarking).
+    BinaryHeap,
+    /// `O(1)` hierarchical timing wheel, allocation-free in steady state.
+    #[default]
+    TimingWheel,
+}
+
+impl std::fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueBackend::BinaryHeap => write!(f, "heap"),
+            QueueBackend::TimingWheel => write!(f, "wheel"),
+        }
+    }
+}
+
+/// A heap entry: time, monotonically increasing sequence number (to break
+/// ties deterministically) and the user event payload.
+struct HeapEntry<E> {
     at: Cycle,
     seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E> PartialEq for HeapEntry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl<E> Eq for HeapEntry<E> {}
 
-impl<E> PartialOrd for Entry<E> {
+impl<E> PartialOrd for HeapEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert the ordering so the earliest event
         // (and lowest sequence number) is popped first.
@@ -42,6 +86,201 @@ impl<E> Ord for Entry<E> {
             .cmp(&self.at)
             .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical timing wheel
+// ---------------------------------------------------------------------------
+
+/// log2 of the slot count per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level (one `u64` occupancy bitmap covers a whole level).
+const SLOTS_PER_LEVEL: usize = 1 << LEVEL_BITS;
+/// Levels needed so the wheel spans the full 64-bit cycle range
+/// (`6 bits × 11 levels = 66 bits`).
+const LEVELS: usize = 11;
+
+struct WheelSlot<E> {
+    entries: VecDeque<(Cycle, E)>,
+}
+
+struct WheelLevel<E> {
+    /// Bit `s` set iff `slots[s]` is non-empty.
+    occupied: u64,
+    slots: Vec<WheelSlot<E>>,
+}
+
+/// A hierarchical timing wheel keyed by absolute cycle.
+///
+/// Invariants (all relative to `elapsed`, the time of the last pop):
+///
+/// * every pending entry's time `t` satisfies `t >= elapsed`;
+/// * an entry lives at level `l` = index of the highest 6-bit group in which
+///   `t` and `elapsed` differ (level 0 if `t == elapsed`), in slot
+///   `(t >> 6l) & 63`;
+/// * hence every level-0 slot holds exactly one cycle's events, in insertion
+///   order, and all entries in a lower level precede all entries in any
+///   higher level.
+struct Wheel<E> {
+    levels: Vec<WheelLevel<E>>,
+    elapsed: Cycle,
+    len: usize,
+    /// Reused cascade buffer so redistribution never allocates in steady
+    /// state.
+    scratch: Vec<(Cycle, E)>,
+}
+
+fn level_for(at: Cycle, elapsed: Cycle) -> usize {
+    let diff = at ^ elapsed;
+    if diff == 0 {
+        0
+    } else {
+        ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize
+    }
+}
+
+fn slot_for(at: Cycle, level: usize) -> usize {
+    ((at >> (LEVEL_BITS as usize * level)) & (SLOTS_PER_LEVEL as u64 - 1)) as usize
+}
+
+/// First cycle covered by `slot` of `level`, given the current `elapsed`.
+fn slot_start(elapsed: Cycle, level: usize, slot: usize) -> Cycle {
+    let low_bits = LEVEL_BITS as usize * level;
+    let high_bits = low_bits + LEVEL_BITS as usize;
+    let high = if high_bits >= 64 {
+        0
+    } else {
+        (elapsed >> high_bits) << high_bits
+    };
+    high | ((slot as Cycle) << low_bits)
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            levels: (0..LEVELS)
+                .map(|_| WheelLevel {
+                    occupied: 0,
+                    slots: (0..SLOTS_PER_LEVEL)
+                        .map(|_| WheelSlot {
+                            entries: VecDeque::new(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            elapsed: 0,
+            len: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn schedule(&mut self, at: Cycle, event: E) {
+        // Past events (a modelling error, debug-asserted against by the
+        // `EventQueue` wrapper) are clamped to the current cycle.
+        let at = at.max(self.elapsed);
+        self.insert(at, event);
+        self.len += 1;
+    }
+
+    fn insert(&mut self, at: Cycle, event: E) {
+        let level = level_for(at, self.elapsed);
+        let slot = slot_for(at, level);
+        let lvl = &mut self.levels[level];
+        lvl.slots[slot].entries.push_back((at, event));
+        lvl.occupied |= 1u64 << slot;
+    }
+
+    fn pop(&mut self) -> Option<(Cycle, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Entries at a lower level always precede entries at any higher
+            // level, so the next event is in the lowest occupied level's
+            // earliest slot (lowest set bit: slot indices never wrap past the
+            // current position, because `elapsed` only advances to the time
+            // of a popped — i.e. globally earliest — event).
+            let level = self
+                .levels
+                .iter()
+                .position(|l| l.occupied != 0)
+                .expect("len > 0 implies an occupied slot");
+            let slot = self.levels[level].occupied.trailing_zeros() as usize;
+            if level == 0 {
+                let lvl = &mut self.levels[0];
+                let (at, event) = lvl.slots[slot]
+                    .entries
+                    .pop_front()
+                    .expect("occupancy bit was set");
+                if lvl.slots[slot].entries.is_empty() {
+                    lvl.occupied &= !(1u64 << slot);
+                }
+                self.len -= 1;
+                debug_assert!(at >= self.elapsed);
+                self.elapsed = at;
+                return Some((at, event));
+            }
+            // Cascade the coarse slot down: advance the wheel to the slot's
+            // first cycle and redistribute its entries, which all land at
+            // strictly lower levels. Draining through `scratch` preserves
+            // insertion order, so FIFO-within-cycle survives the cascade.
+            let start = slot_start(self.elapsed, level, slot);
+            debug_assert!(start >= self.elapsed);
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let lvl = &mut self.levels[level];
+            scratch.extend(lvl.slots[slot].entries.drain(..));
+            lvl.occupied &= !(1u64 << slot);
+            self.elapsed = start;
+            for (at, event) in scratch.drain(..) {
+                self.insert(at, event);
+            }
+            self.scratch = scratch;
+        }
+    }
+
+    fn peek_time(&self) -> Option<Cycle> {
+        if self.len == 0 {
+            return None;
+        }
+        let level = self
+            .levels
+            .iter()
+            .position(|l| l.occupied != 0)
+            .expect("len > 0 implies an occupied slot");
+        let slot = self.levels[level].occupied.trailing_zeros() as usize;
+        // Level-0 slots hold a single cycle; coarser slots can mix cycles, so
+        // scan for the minimum (peeks are rare — the hot loop only pops).
+        self.levels[level].slots[slot]
+            .entries
+            .iter()
+            .map(|(at, _)| *at)
+            .min()
+    }
+
+    fn clear(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        for lvl in &mut self.levels {
+            let mut occupied = lvl.occupied;
+            while occupied != 0 {
+                let slot = occupied.trailing_zeros() as usize;
+                lvl.slots[slot].entries.clear();
+                occupied &= occupied - 1;
+            }
+            lvl.occupied = 0;
+        }
+        self.len = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public queue
+// ---------------------------------------------------------------------------
+
+enum Backend<E> {
+    Heap(BinaryHeap<HeapEntry<E>>),
+    Wheel(Wheel<E>),
 }
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
@@ -60,7 +299,8 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((3, "c")));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
+    kind: QueueBackend,
     next_seq: u64,
     now: Cycle,
 }
@@ -72,13 +312,29 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue positioned at cycle zero.
+    /// Creates an empty queue positioned at cycle zero, using the default
+    /// (timing-wheel) backend.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// Creates an empty queue using the given backend.
+    pub fn with_backend(kind: QueueBackend) -> Self {
+        let backend = match kind {
+            QueueBackend::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+            QueueBackend::TimingWheel => Backend::Wheel(Wheel::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
+            kind,
             next_seq: 0,
             now: 0,
         }
+    }
+
+    /// Which backend this queue uses.
+    pub fn backend(&self) -> QueueBackend {
+        self.kind
     }
 
     /// The time of the most recently popped event (the simulation clock).
@@ -88,19 +344,23 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Wheel(wheel) => wheel.len,
+        }
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `event` to fire at absolute cycle `at`.
     ///
-    /// Scheduling an event in the past (before [`EventQueue::now`]) is
-    /// allowed — it simply fires at the next pop — but usually indicates a
-    /// modelling error, so debug builds assert against it.
+    /// Scheduling an event in the past (before [`EventQueue::now`]) usually
+    /// indicates a modelling error, so debug builds assert against it. In
+    /// release builds the heap backend fires it at the next pop while the
+    /// wheel backend clamps it to the current cycle.
     pub fn schedule(&mut self, at: Cycle, event: E) {
         debug_assert!(
             at >= self.now,
@@ -109,7 +369,10 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(HeapEntry { at, seq, event }),
+            Backend::Wheel(wheel) => wheel.schedule(at, event),
+        }
     }
 
     /// Schedules `event` to fire `delay` cycles after the current time.
@@ -120,29 +383,39 @@ impl<E> EventQueue<E> {
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.at),
+            Backend::Wheel(wheel) => wheel.peek_time(),
+        }
     }
 
     /// Pops the earliest event, advancing the simulation clock to its time.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
+        let (at, event) = match &mut self.backend {
+            Backend::Heap(heap) => heap.pop().map(|e| (e.at, e.event))?,
+            Backend::Wheel(wheel) => wheel.pop()?,
+        };
         // The clock never moves backwards even if an event was scheduled in
         // the past (see `schedule`).
-        self.now = self.now.max(entry.at);
-        Some((self.now, entry.event))
+        self.now = self.now.max(at);
+        Some((self.now, event))
     }
 
     /// Removes all pending events without changing the clock.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.clear(),
+            Backend::Wheel(wheel) => wheel.clear(),
+        }
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
+            .field("backend", &self.kind)
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
             .finish()
     }
 }
@@ -150,67 +423,158 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::DetRng;
+
+    const BACKENDS: [QueueBackend; 2] = [QueueBackend::BinaryHeap, QueueBackend::TimingWheel];
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(30, 3);
-        q.schedule(10, 1);
-        q.schedule(20, 2);
-        assert_eq!(q.pop(), Some((10, 1)));
-        assert_eq!(q.pop(), Some((20, 2)));
-        assert_eq!(q.pop(), Some((30, 3)));
-        assert_eq!(q.pop(), None);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(30, 3);
+            q.schedule(10, 1);
+            q.schedule(20, 2);
+            assert_eq!(q.pop(), Some((10, 1)), "{backend}");
+            assert_eq!(q.pop(), Some((20, 2)), "{backend}");
+            assert_eq!(q.pop(), Some((30, 3)), "{backend}");
+            assert_eq!(q.pop(), None, "{backend}");
+        }
     }
 
     #[test]
     fn same_cycle_events_are_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(42, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((42, i)));
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..100 {
+                q.schedule(42, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((42, i)), "{backend}");
+            }
         }
     }
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.now(), 0);
-        q.schedule(7, ());
-        q.schedule(9, ());
-        q.pop();
-        assert_eq!(q.now(), 7);
-        q.pop();
-        assert_eq!(q.now(), 9);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.now(), 0);
+            q.schedule(7, ());
+            q.schedule(9, ());
+            q.pop();
+            assert_eq!(q.now(), 7, "{backend}");
+            q.pop();
+            assert_eq!(q.now(), 9, "{backend}");
+        }
     }
 
     #[test]
     fn schedule_in_is_relative_to_now() {
-        let mut q = EventQueue::new();
-        q.schedule(5, "first");
-        q.pop();
-        q.schedule_in(10, "second");
-        assert_eq!(q.peek_time(), Some(15));
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(5, "first");
+            q.pop();
+            q.schedule_in(10, "second");
+            assert_eq!(q.peek_time(), Some(15), "{backend}");
+        }
     }
 
     #[test]
     fn len_and_clear() {
-        let mut q = EventQueue::new();
-        q.schedule(1, ());
-        q.schedule(2, ());
-        assert_eq!(q.len(), 2);
-        assert!(!q.is_empty());
-        q.clear();
-        assert!(q.is_empty());
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(1, ());
+            q.schedule(2, ());
+            assert_eq!(q.len(), 2, "{backend}");
+            assert!(!q.is_empty(), "{backend}");
+            q.clear();
+            assert!(q.is_empty(), "{backend}");
+            // The queue keeps working after a clear.
+            q.schedule(5, ());
+            assert_eq!(q.pop(), Some((5, ())), "{backend}");
+        }
     }
 
     #[test]
     fn peek_does_not_advance_clock() {
-        let mut q = EventQueue::new();
-        q.schedule(99, ());
-        assert_eq!(q.peek_time(), Some(99));
-        assert_eq!(q.now(), 0);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(99, ());
+            assert_eq!(q.peek_time(), Some(99), "{backend}");
+            assert_eq!(q.now(), 0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn default_backend_is_the_wheel() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.backend(), QueueBackend::TimingWheel);
+    }
+
+    #[test]
+    fn wheel_handles_far_future_events_across_levels() {
+        let mut q = EventQueue::with_backend(QueueBackend::TimingWheel);
+        // One event per wheel level, far beyond the level-0 horizon.
+        let times = [
+            1u64,
+            63,
+            64,
+            4095,
+            4096,
+            1 << 20,
+            1 << 35,
+            1 << 52,
+            u64::MAX / 2,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wheel_preserves_fifo_through_cascades() {
+        let mut q = EventQueue::with_backend(QueueBackend::TimingWheel);
+        // Two batches for the same far-future cycle, scheduled around an
+        // intervening pop that forces a cascade before the second batch.
+        q.schedule(10_000, 0);
+        q.schedule(10_000, 1);
+        q.schedule(5, 99);
+        assert_eq!(q.pop(), Some((5, 99)));
+        q.schedule(10_000, 2);
+        assert_eq!(q.pop(), Some((10_000, 0)));
+        assert_eq!(q.pop(), Some((10_000, 1)));
+        assert_eq!(q.pop(), Some((10_000, 2)));
+    }
+
+    #[test]
+    fn backends_pop_identically_under_random_churn() {
+        // A compact in-crate version of the cross-backend determinism
+        // property (the full randomized suite lives in tests/properties.rs).
+        let mut rng = DetRng::new(0xC0FFEE);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut wheel = EventQueue::with_backend(QueueBackend::TimingWheel);
+        let mut next_id = 0u64;
+        for _ in 0..5_000 {
+            if rng.gen_bool(0.6) || heap.is_empty() {
+                // Small offsets force plenty of same-cycle ties.
+                let at = heap.now() + rng.gen_range(8);
+                heap.schedule(at, next_id);
+                wheel.schedule(at, next_id);
+                next_id += 1;
+            } else {
+                assert_eq!(heap.pop(), wheel.pop());
+            }
+        }
+        loop {
+            let (h, w) = (heap.pop(), wheel.pop());
+            assert_eq!(h, w);
+            if h.is_none() {
+                break;
+            }
+        }
     }
 }

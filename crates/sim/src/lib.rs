@@ -31,7 +31,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueBackend};
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, OccupancyTracker, StatsRegistry};
 pub use time::{cycles_to_micros, Cycle, PROCESSOR_HZ};

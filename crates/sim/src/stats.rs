@@ -176,9 +176,15 @@ impl Histogram {
 /// assert_eq!(t.busy_for("uncached_load"), 56);
 /// assert_eq!(t.transactions(), 3);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+// No `Deserialize`: the interned `&'static str` keys make the tracker
+// serializable but not deserializable (real serde cannot conjure a
+// `&'static str` from input data), and nothing round-trips trackers.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize)]
 pub struct OccupancyTracker {
-    by_kind: BTreeMap<String, (u64, Cycle)>,
+    // Kinds are interned static labels: recording a transaction on the
+    // simulator's hot path must not allocate (a `String` key per bus
+    // transaction showed up as the dominant allocation in the machine loop).
+    by_kind: BTreeMap<&'static str, (u64, Cycle)>,
     total_busy: Cycle,
     transactions: u64,
 }
@@ -191,8 +197,12 @@ impl OccupancyTracker {
 
     /// Records a transaction of `kind` that occupied the resource for
     /// `cycles` cycles.
-    pub fn record(&mut self, kind: &str, cycles: Cycle) {
-        let entry = self.by_kind.entry(kind.to_owned()).or_insert((0, 0));
+    ///
+    /// `kind` is a `&'static str` so the per-transaction record is
+    /// allocation-free; every call site labels transactions with string
+    /// literals anyway.
+    pub fn record(&mut self, kind: &'static str, cycles: Cycle) {
+        let entry = self.by_kind.entry(kind).or_insert((0, 0));
         entry.0 += 1;
         entry.1 += cycles;
         self.total_busy += cycles;
@@ -232,8 +242,8 @@ impl OccupancyTracker {
 
     /// Iterates over `(kind, transaction count, busy cycles)` in
     /// lexicographic kind order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, u64, Cycle)> + '_ {
-        self.by_kind.iter().map(|(k, (n, c))| (k.as_str(), *n, *c))
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64, Cycle)> + '_ {
+        self.by_kind.iter().map(|(k, (n, c))| (*k, *n, *c))
     }
 
     /// Resets the tracker.
@@ -246,7 +256,7 @@ impl OccupancyTracker {
     /// Merges another tracker into this one.
     pub fn merge(&mut self, other: &OccupancyTracker) {
         for (kind, n, cycles) in other.iter() {
-            let entry = self.by_kind.entry(kind.to_owned()).or_insert((0, 0));
+            let entry = self.by_kind.entry(kind).or_insert((0, 0));
             entry.0 += n;
             entry.1 += cycles;
         }

@@ -82,7 +82,10 @@ mod tests {
         for micros in [0.5, 1.0, 3.25, 10.0] {
             let cycles = micros_to_cycles(micros);
             let back = cycles_to_micros(cycles);
-            assert!((back - micros).abs() < 0.01, "{micros} -> {cycles} -> {back}");
+            assert!(
+                (back - micros).abs() < 0.01,
+                "{micros} -> {cycles} -> {back}"
+            );
         }
     }
 

@@ -81,7 +81,9 @@ impl Tracer {
 
     /// Records whose source contains `needle`.
     pub fn records_from<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
-        self.records.iter().filter(move |r| r.source.contains(needle))
+        self.records
+            .iter()
+            .filter(move |r| r.source.contains(needle))
     }
 
     /// Drops all collected records.

@@ -80,12 +80,12 @@ impl AppbtParams {
 pub fn neighbors(nodes: usize, me: usize) -> Vec<usize> {
     // Factor `nodes` into a roughly cubic grid px × py × pz.
     let mut px = (nodes as f64).cbrt().round().max(1.0) as usize;
-    while nodes % px != 0 {
+    while !nodes.is_multiple_of(px) {
         px -= 1;
     }
     let rest = nodes / px;
     let mut py = (rest as f64).sqrt().round().max(1.0) as usize;
-    while rest % py != 0 {
+    while !rest.is_multiple_of(py) {
         py -= 1;
     }
     let pz = rest / py;
@@ -277,10 +277,14 @@ mod tests {
         let report = machine.run();
         assert!(report.completed, "appbt did not complete");
         let served: Vec<u64> = (0..nodes)
-            .map(|i| machine.program_as::<AppbtProgram>(i).unwrap().requests_served())
+            .map(|i| {
+                machine
+                    .program_as::<AppbtProgram>(i)
+                    .unwrap()
+                    .requests_served()
+            })
             .collect();
-        let others_avg: f64 =
-            served[1..].iter().sum::<u64>() as f64 / (nodes - 1) as f64;
+        let others_avg: f64 = served[1..].iter().sum::<u64>() as f64 / (nodes - 1) as f64;
         assert!(
             served[0] as f64 > 1.5 * others_avg,
             "node 0 ({}) should serve roughly twice the requests of its peers (avg {:.1})",
@@ -289,7 +293,10 @@ mod tests {
         );
         for i in 0..nodes {
             assert_eq!(
-                machine.program_as::<AppbtProgram>(i).unwrap().iterations_done(),
+                machine
+                    .program_as::<AppbtProgram>(i)
+                    .unwrap()
+                    .iterations_done(),
                 params.iterations
             );
         }
@@ -297,10 +304,19 @@ mod tests {
 
     #[test]
     fn face_block_derivation_scales_with_cube_size() {
-        let small = AppbtParams { cube: 8, ..AppbtParams::default() };
-        let big = AppbtParams { cube: 24, ..AppbtParams::default() };
+        let small = AppbtParams {
+            cube: 8,
+            ..AppbtParams::default()
+        };
+        let big = AppbtParams {
+            cube: 24,
+            ..AppbtParams::default()
+        };
         assert!(big.face_blocks(16) > small.face_blocks(16));
-        let explicit = AppbtParams { blocks_per_face: 5, ..AppbtParams::default() };
+        let explicit = AppbtParams {
+            blocks_per_face: 5,
+            ..AppbtParams::default()
+        };
         assert_eq!(explicit.face_blocks(16), 5);
     }
 }

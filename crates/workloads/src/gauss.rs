@@ -171,9 +171,8 @@ mod tests {
         }
         // Every pivot is broadcast to the other (nodes - 1) processors, each
         // broadcast fragmenting into ceil(2048 / 244) network messages.
-        let expected = (params.n as u64)
-            * (nodes as u64 - 1)
-            * fragments_for_bytes(params.row_bytes) as u64;
+        let expected =
+            (params.n as u64) * (nodes as u64 - 1) * fragments_for_bytes(params.row_bytes) as u64;
         assert_eq!(report.fabric.messages, expected);
     }
 

@@ -86,7 +86,7 @@ impl Dag {
 
         let mut indegree = vec![0u32; n];
         let mut successors = vec![Vec::new(); n];
-        for e in 0..n {
+        for (e, succ) in successors.iter_mut().enumerate() {
             let layer = layer_of(e);
             if layer + 1 >= layers {
                 continue;
@@ -98,8 +98,9 @@ impl Dag {
             }
             let degree = 1 + rng.gen_index(params.avg_degree.max(1) * 2);
             for _ in 0..degree {
-                let target = next_start + rng.gen_index((next_end - next_start).min(n - next_start));
-                successors[e].push(target as u32);
+                let target =
+                    next_start + rng.gen_index((next_end - next_start).min(n - next_start));
+                succ.push(target as u32);
                 indegree[target] += 1;
             }
         }
@@ -266,7 +267,10 @@ mod tests {
         assert_eq!(a.successors, b.successors);
         assert_eq!(a.len(), params.elements);
         assert!(a.edges() > 0);
-        assert!(a.remote_edges() > 0, "round-robin ownership must create remote edges");
+        assert!(
+            a.remote_edges() > 0,
+            "round-robin ownership must create remote edges"
+        );
         // Layered construction: every edge goes to a strictly larger element
         // index, so the graph cannot contain a cycle.
         for (e, succs) in a.successors.iter().enumerate() {
@@ -301,6 +305,9 @@ mod tests {
             fired += p.fired();
         }
         assert_eq!(fired, params.elements);
-        assert!(report.fabric.messages > 0, "expected remote DAG edges to generate traffic");
+        assert!(
+            report.fabric.messages > 0,
+            "expected remote DAG edges to generate traffic"
+        );
     }
 }

@@ -4,9 +4,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use cni::core::machine::MachineConfig;
-use cni::core::micro::{
-    round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams,
-};
+use cni::core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
 use cni::nic::NiKind;
 
 fn main() {

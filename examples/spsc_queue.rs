@@ -46,6 +46,7 @@ fn main() {
     cdr.publish("status: ready").expect("register is empty");
     println!("CDR channel holds: {:?}", cdr.read());
     cdr.clear(); // the explicit handshake that makes the register reusable
-    cdr.publish("status: busy").expect("cleared register is reusable");
+    cdr.publish("status: busy")
+        .expect("cleared register is reusable");
     println!("CDR channel holds: {:?}", cdr.read());
 }

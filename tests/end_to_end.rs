@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: full machines, real NIs, real workloads.
 
 use cni::core::machine::{Machine, MachineConfig};
-use cni::core::micro::{
-    round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams,
-};
+use cni::core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
 use cni::mem::system::DeviceLocation;
 use cni::nic::NiKind;
 use cni::workloads::{Workload, WorkloadParams};
@@ -53,9 +51,17 @@ fn bulk_workloads_prefer_coherent_nis() {
 
 #[test]
 fn io_bus_is_slower_than_memory_bus_for_the_same_ni() {
-    let mem = run(Workload::Gauss, 4, NiKind::Cni512Q, DeviceLocation::MemoryBus);
+    let mem = run(
+        Workload::Gauss,
+        4,
+        NiKind::Cni512Q,
+        DeviceLocation::MemoryBus,
+    );
     let io = run(Workload::Gauss, 4, NiKind::Cni512Q, DeviceLocation::IoBus);
-    assert!(io > mem, "I/O-bus run ({io}) should be slower than memory-bus run ({mem})");
+    assert!(
+        io > mem,
+        "I/O-bus run ({io}) should be slower than memory-bus run ({mem})"
+    );
 }
 
 #[test]
@@ -79,8 +85,10 @@ fn figure6_ordering_cnis_beat_ni2w_on_both_buses() {
     };
     for location in [DeviceLocation::MemoryBus, DeviceLocation::IoBus] {
         let ni2w = round_trip_latency(&MachineConfig::for_bus(2, NiKind::Ni2w, location), &params);
-        let cniq =
-            round_trip_latency(&MachineConfig::for_bus(2, NiKind::Cni512Q, location), &params);
+        let cniq = round_trip_latency(
+            &MachineConfig::for_bus(2, NiKind::Cni512Q, location),
+            &params,
+        );
         assert!(
             cniq.round_trip_cycles < ni2w.round_trip_cycles,
             "{location:?}: CNI512Q ({}) should beat NI2w ({})",

@@ -1,30 +1,38 @@
 //! Property-based tests of the core data structures and invariants.
+//!
+//! The build environment has no access to crates.io, so instead of a
+//! proptest-style framework these properties run over many randomized cases
+//! driven by the simulator's own deterministic RNG ([`DetRng`]): every case
+//! derives from a fixed master seed, so a failure reproduces exactly and the
+//! failing case's seed appears in the assertion message.
 
-use proptest::prelude::*;
+use std::collections::VecDeque;
 
 use cni::core::cq::cachable_queue;
 use cni::core::msg::{fragment_message, AmMessage, Assembler};
 use cni::net::message::{fragments_for_bytes, NodeId, NET_PAYLOAD_BYTES};
 use cni::net::window::SlidingWindow;
-use cni::sim::event::EventQueue;
+use cni::sim::event::{EventQueue, QueueBackend};
 use cni::sim::rng::DetRng;
 
-proptest! {
-    /// The host cachable queue behaves exactly like a bounded FIFO for any
-    /// interleaving of sends and receives.
-    #[test]
-    fn cachable_queue_matches_a_reference_fifo(
-        capacity in 1usize..32,
-        ops in proptest::collection::vec(any::<bool>(), 1..500),
-    ) {
+const CASES: u64 = 64;
+
+/// The host cachable queue behaves exactly like a bounded FIFO for any
+/// interleaving of sends and receives.
+#[test]
+fn cachable_queue_matches_a_reference_fifo() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xA11CE ^ case);
+        let capacity = 1 + rng.gen_index(31);
+        let ops = 1 + rng.gen_index(500);
         let (mut tx, mut rx) = cachable_queue::<u64>(capacity);
-        let mut reference = std::collections::VecDeque::new();
+        let mut reference = VecDeque::new();
         let mut next = 0u64;
-        for is_send in ops {
-            if is_send {
+        for _ in 0..ops {
+            if rng.gen_bool(0.5) {
                 let ok = tx.try_send(next).is_ok();
                 let expected_ok = reference.len() < capacity;
-                prop_assert_eq!(ok, expected_ok);
+                assert_eq!(ok, expected_ok, "case {case}: try_send admission");
                 if ok {
                     reference.push_back(next);
                 }
@@ -32,63 +40,76 @@ proptest! {
             } else {
                 let got = rx.try_recv();
                 let expected = reference.pop_front();
-                prop_assert_eq!(got, expected);
+                assert_eq!(got, expected, "case {case}: try_recv order");
             }
         }
         // Drain what is left: order must match the reference exactly.
         while let Some(expected) = reference.pop_front() {
-            prop_assert_eq!(rx.try_recv(), Some(expected));
+            assert_eq!(rx.try_recv(), Some(expected), "case {case}: drain");
         }
-        prop_assert_eq!(rx.try_recv(), None);
+        assert_eq!(rx.try_recv(), None, "case {case}: queue must end empty");
     }
+}
 
-    /// Fragmentation always covers the full payload with fragments of at most
-    /// the network payload size, and reassembly completes exactly on the last
-    /// fragment regardless of arrival order.
-    #[test]
-    fn fragmentation_reassembly_round_trip(
-        bytes in 0usize..10_000,
-        handler in any::<u16>(),
-        shuffle_seed in any::<u64>(),
-    ) {
-        let frags = fragment_message(NodeId(3), NodeId(1), 42, AmMessage::new(handler, bytes, vec![7]));
-        prop_assert_eq!(frags.len(), fragments_for_bytes(bytes));
-        prop_assert_eq!(frags.iter().map(|f| f.payload_bytes).sum::<usize>(), bytes);
-        prop_assert!(frags.iter().all(|f| f.payload_bytes <= NET_PAYLOAD_BYTES));
+/// Fragmentation always covers the full payload with fragments of at most
+/// the network payload size, and reassembly completes exactly on the last
+/// fragment regardless of arrival order.
+#[test]
+fn fragmentation_reassembly_round_trip() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xF4A6 ^ case);
+        let bytes = rng.gen_index(10_000);
+        let handler = rng.gen_range(u64::from(u16::MAX) + 1) as u16;
+        let frags = fragment_message(
+            NodeId(3),
+            NodeId(1),
+            42,
+            AmMessage::new(handler, bytes, vec![7]),
+        );
+        assert_eq!(frags.len(), fragments_for_bytes(bytes), "case {case}");
+        assert_eq!(
+            frags.iter().map(|f| f.payload_bytes).sum::<usize>(),
+            bytes,
+            "case {case}: fragments must cover the payload"
+        );
+        assert!(frags.iter().all(|f| f.payload_bytes <= NET_PAYLOAD_BYTES));
 
         // Reassemble in a shuffled order.
         let mut order: Vec<usize> = (0..frags.len()).collect();
-        DetRng::new(shuffle_seed).shuffle(&mut order);
+        rng.shuffle(&mut order);
         let mut assembler = Assembler::new();
         let mut completed = None;
         for (count, &i) in order.iter().enumerate() {
             let result = assembler.push(frags[i].clone());
             if count + 1 < frags.len() {
-                prop_assert!(result.is_none());
+                assert!(result.is_none(), "case {case}: early completion");
             } else {
                 completed = result;
             }
         }
         let msg = completed.expect("last fragment completes the message");
-        prop_assert_eq!(msg.handler, handler);
-        prop_assert_eq!(msg.bytes, bytes);
-        prop_assert_eq!(msg.src, NodeId(3));
+        assert_eq!(msg.handler, handler, "case {case}");
+        assert_eq!(msg.bytes, bytes, "case {case}");
+        assert_eq!(msg.src, NodeId(3), "case {case}");
     }
+}
 
-    /// The sliding window never admits more than its limit per destination
-    /// and always recovers after releases.
-    #[test]
-    fn sliding_window_invariants(
-        limit in 1usize..8,
-        ops in proptest::collection::vec((0usize..4, any::<bool>()), 1..200),
-    ) {
+/// The sliding window never admits more than its limit per destination and
+/// always recovers after releases.
+#[test]
+fn sliding_window_invariants() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x51D3 ^ case);
+        let limit = 1 + rng.gen_index(7);
+        let ops = 1 + rng.gen_index(200);
         let mut window = SlidingWindow::new(limit);
-        let mut in_flight = vec![0usize; 4];
-        for (dst, acquire) in ops {
+        let mut in_flight = [0usize; 4];
+        for _ in 0..ops {
+            let dst = rng.gen_index(4);
             let node = NodeId(dst);
-            if acquire {
+            if rng.gen_bool(0.5) {
                 let ok = window.try_acquire(node);
-                prop_assert_eq!(ok, in_flight[dst] < limit);
+                assert_eq!(ok, in_flight[dst] < limit, "case {case}: admission");
                 if ok {
                     in_flight[dst] += 1;
                 }
@@ -96,45 +117,102 @@ proptest! {
                 window.release(node);
                 in_flight[dst] -= 1;
             }
-            prop_assert!(window.in_flight(node) <= limit);
-            prop_assert_eq!(window.in_flight(node), in_flight[dst]);
+            assert!(window.in_flight(node) <= limit, "case {case}: over limit");
+            assert_eq!(window.in_flight(node), in_flight[dst], "case {case}");
         }
-        prop_assert_eq!(window.total_in_flight(), in_flight.iter().sum::<usize>());
+        assert_eq!(
+            window.total_in_flight(),
+            in_flight.iter().sum::<usize>(),
+            "case {case}"
+        );
     }
+}
 
-    /// The event queue always pops events in non-decreasing time order and
-    /// preserves FIFO order among same-cycle events.
-    #[test]
-    fn event_queue_ordering(
-        times in proptest::collection::vec(0u64..1000, 1..200),
-    ) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(t, (t, i));
-        }
-        let mut last: Option<(u64, usize)> = None;
-        let mut popped = 0;
-        while let Some((at, (t, i))) = q.pop() {
-            popped += 1;
-            prop_assert_eq!(at, t);
-            if let Some((lt, li)) = last {
-                prop_assert!(t > lt || (t == lt && i > li), "ordering violated");
+/// The event queue always pops events in non-decreasing time order and
+/// preserves FIFO order among same-cycle events — on both backends.
+#[test]
+fn event_queue_ordering() {
+    for backend in [QueueBackend::BinaryHeap, QueueBackend::TimingWheel] {
+        for case in 0..CASES {
+            let mut rng = DetRng::new(0xE7E2 ^ case);
+            let n = 1 + rng.gen_index(200);
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..n {
+                let t = rng.gen_range(1000);
+                q.schedule(t, (t, i));
             }
-            last = Some((t, i));
+            let mut last: Option<(u64, usize)> = None;
+            let mut popped = 0;
+            while let Some((at, (t, i))) = q.pop() {
+                popped += 1;
+                assert_eq!(at, t, "{backend} case {case}: clock vs event time");
+                if let Some((lt, li)) = last {
+                    assert!(
+                        t > lt || (t == lt && i > li),
+                        "{backend} case {case}: ordering violated at ({t},{i}) after ({lt},{li})"
+                    );
+                }
+                last = Some((t, i));
+            }
+            assert_eq!(popped, n, "{backend} case {case}: events lost");
         }
-        prop_assert_eq!(popped, times.len());
     }
+}
 
-    /// Deterministic RNG: same seed, same stream; bounded values stay in
-    /// range.
-    #[test]
-    fn det_rng_is_deterministic_and_bounded(seed in any::<u64>(), bound in 1u64..10_000) {
+/// The timing-wheel backend pops events in *exactly* the same order as the
+/// binary-heap backend under randomized schedules, including same-cycle FIFO
+/// ties and interleaved schedule/pop churn that forces wheel cascades.
+#[test]
+fn wheel_and_heap_backends_are_pop_order_identical() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x9E37 ^ case);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut wheel = EventQueue::with_backend(QueueBackend::TimingWheel);
+        let mut next_id = 0u64;
+        let ops = 200 + rng.gen_index(800);
+        for _ in 0..ops {
+            if rng.gen_bool(0.55) || heap.is_empty() {
+                // Mix short offsets (same-cycle ties, level-0 traffic) with
+                // occasional far-future events (higher wheel levels).
+                let delta = match rng.gen_index(10) {
+                    0 => rng.gen_range(1 << 20),
+                    1..=3 => rng.gen_range(5_000),
+                    _ => rng.gen_range(8),
+                };
+                let at = heap.now() + delta;
+                heap.schedule(at, next_id);
+                wheel.schedule(at, next_id);
+                next_id += 1;
+            } else {
+                let (h, w) = (heap.pop(), wheel.pop());
+                assert_eq!(h, w, "case {case}: backends diverged mid-churn");
+            }
+            assert_eq!(heap.len(), wheel.len(), "case {case}: length divergence");
+            assert_eq!(heap.now(), wheel.now(), "case {case}: clock divergence");
+        }
+        // Drain: the full remaining sequence must match exactly.
+        loop {
+            let (h, w) = (heap.pop(), wheel.pop());
+            assert_eq!(h, w, "case {case}: backends diverged while draining");
+            if h.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// Deterministic RNG: same seed, same stream; bounded values stay in range.
+#[test]
+fn det_rng_is_deterministic_and_bounded() {
+    for case in 0..CASES {
+        let seed = DetRng::new(case).next_u64();
+        let bound = 1 + DetRng::new(!case).gen_range(10_000);
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for _ in 0..100 {
             let x = a.gen_range(bound);
-            prop_assert_eq!(x, b.gen_range(bound));
-            prop_assert!(x < bound);
+            assert_eq!(x, b.gen_range(bound), "case {case}");
+            assert!(x < bound, "case {case}");
         }
     }
 }
