@@ -1,0 +1,205 @@
+//! Scaling sweep: machine sizes × shard counts, sequential and parallel.
+//!
+//! The paper evaluates 16-node machines; this harness drives the sharded
+//! execution model past that — 16/64/256 (and with `--big` 1024) nodes — and
+//! records, per configuration, the simulated result digest and the
+//! simulator's own wall-clock. Simulated results are **bit-identical across
+//! shard counts and execution modes** (the run fails loudly if they are
+//! not); only the wall-clock column varies.
+//!
+//! Run with `cargo run --release -p cni-bench --bin scaling -- [quick|big]
+//! [--json] [--ci]`.
+//!
+//! * `quick` sweeps 16/64 nodes with a smaller graph; `big` adds 1024 nodes.
+//! * `--json` emits the sweep in the same trajectory format as `fig8 --json`.
+//! * `--ci` runs the 64-node / 4-shard smoke configuration (sequential
+//!   1-shard, sequential 4-shard, parallel 4-shard), verifies the three
+//!   digests agree and nothing aborted, and prints the single reference
+//!   digest line that CI diffs against `SCALING_ref.txt`.
+//!
+//! The workload is em3d (fine-grain messaging) with the graph scaled
+//! proportionally to the machine — weak scaling, so the event population per
+//! epoch grows with the node count, which is exactly the regime the sharded
+//! loop (and PR 1's timing wheel) is built for.
+
+use std::time::Instant;
+
+use cni_bench::report_digest;
+use cni_core::machine::{Machine, MachineConfig, RunReport, ShardPolicy};
+use cni_nic::taxonomy::NiKind;
+use cni_workloads::{Workload, WorkloadParams};
+
+/// em3d scaled so every machine node owns the same share of the graph.
+fn scaling_params(nodes: usize, quick: bool) -> WorkloadParams {
+    let mut params = WorkloadParams::tiny();
+    params.em3d.graph_nodes = nodes * if quick { 8 } else { 32 };
+    params.em3d.degree = 5;
+    params.em3d.iterations = if quick { 4 } else { 25 };
+    params
+}
+
+struct Row {
+    nodes: usize,
+    shards: usize,
+    mode: &'static str,
+    cycles: u64,
+    digest: u64,
+    wall_seconds: f64,
+}
+
+fn run_one(nodes: usize, shards: usize, parallel: bool, quick: bool) -> (RunReport, Row) {
+    let cfg = MachineConfig::isca96(nodes, NiKind::Cni512Q)
+        .with_shards(ShardPolicy::Fixed(shards))
+        .with_parallel(parallel);
+    let params = scaling_params(nodes, quick);
+    let programs = Workload::Em3d.programs(nodes, &params);
+    let mut machine = Machine::new(cfg, programs);
+    let started = Instant::now();
+    let report = machine.run();
+    let wall_seconds = started.elapsed().as_secs_f64();
+    if report.aborted {
+        eprintln!(
+            "scaling: em3d at {nodes} nodes / {shards} shards hit the cycle limit — aborting"
+        );
+        std::process::exit(1);
+    }
+    let row = Row {
+        nodes,
+        shards,
+        mode: if parallel { "par" } else { "seq" },
+        cycles: report.cycles,
+        digest: report_digest(&report),
+        wall_seconds,
+    };
+    (report, row)
+}
+
+fn sweep(node_counts: &[usize], quick: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &nodes in node_counts {
+        let mut reference: Option<RunReport> = None;
+        for &shards in &[1usize, 4, 16] {
+            if shards > nodes {
+                continue;
+            }
+            let modes: &[bool] = if shards == 1 {
+                &[false]
+            } else {
+                &[false, true]
+            };
+            for &parallel in modes {
+                let (report, row) = run_one(nodes, shards, parallel, quick);
+                match &reference {
+                    None => reference = Some(report),
+                    Some(reference) => {
+                        if report != *reference {
+                            eprintln!(
+                                "scaling: {nodes}-node run with {shards} shards ({}) \
+                                 diverged from the 1-shard reference — determinism bug",
+                                row.mode
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+fn rows_json(rows: &[Row]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{"nodes":{},"shards":{},"mode":"{}","cycles":{},"digest":"{:016x}","wall_seconds":{:.3}}}"#,
+                r.nodes, r.shards, r.mode, r.cycles, r.digest, r.wall_seconds
+            )
+        })
+        .collect();
+    body.join(",")
+}
+
+fn print_table(rows: &[Row]) {
+    println!(
+        "Scaling sweep: em3d, CNI512Q, weak-scaled graph (digest is the simulated-result hash)"
+    );
+    println!(
+        "{:>7} {:>7} {:>5} {:>14} {:>18} {:>10}",
+        "nodes", "shards", "mode", "cycles", "digest", "wall (s)"
+    );
+    for r in rows {
+        println!(
+            "{:>7} {:>7} {:>5} {:>14} {:>18x} {:>10.3}",
+            r.nodes, r.shards, r.mode, r.cycles, r.digest, r.wall_seconds
+        );
+    }
+    println!("\nEvery digest within one node count must match: sharding is a");
+    println!("simulator-performance knob, never a results knob.");
+}
+
+/// The CI smoke configuration: 64 nodes, 1-vs-4 shards, both modes.
+fn run_ci() {
+    let quick = true;
+    let (reference, base) = run_one(64, 1, false, quick);
+    for (shards, parallel) in [(4usize, false), (4, true)] {
+        let (report, row) = run_one(64, shards, parallel, quick);
+        if report != reference {
+            eprintln!(
+                "scaling --ci: 64-node run with {shards} shards ({}) diverged from \
+                 the 1-shard reference — determinism bug",
+                row.mode
+            );
+            std::process::exit(1);
+        }
+    }
+    // The single line CI pins against SCALING_ref.txt.
+    println!("scaling-digest em3d 64n {:016x}", base.digest);
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: scaling [quick|big] [--json] [--ci]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut json = false;
+    let mut ci = false;
+    let mut mode: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--ci" => ci = true,
+            "quick" | "big" | "scaled" if mode.is_none() => mode = Some(arg),
+            other => usage_error(&format!("unrecognized argument {other:?}")),
+        }
+    }
+    if ci {
+        run_ci();
+        return;
+    }
+    let mode = mode.as_deref().unwrap_or("scaled");
+    let (node_counts, quick): (&[usize], bool) = match mode {
+        "quick" => (&[16, 64], true),
+        "scaled" => (&[16, 64, 256], false),
+        "big" => (&[16, 64, 256, 1024], false),
+        _ => unreachable!("mode validated above"),
+    };
+
+    let started = Instant::now();
+    let rows = sweep(node_counts, quick);
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    if json {
+        println!(
+            r#"{{"experiment":"scaling","workload":"em3d","mode":"{mode}","wall_seconds":{wall_seconds:.3},"rows":[{}]}}"#,
+            rows_json(&rows)
+        );
+    } else {
+        print_table(&rows);
+        println!("\nharness wall time: {wall_seconds:.2}s");
+    }
+}

@@ -50,7 +50,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cni_core::machine::{Machine, MachineConfig};
+use cni_core::machine::{Machine, MachineConfig, RunReport};
 use cni_core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
 use cni_mem::system::DeviceLocation;
 use cni_nic::taxonomy::{NiKind, NiSpec};
@@ -219,19 +219,78 @@ impl MacroResult {
     }
 }
 
-/// Runs one workload on one machine configuration and returns the execution
-/// time in cycles.
-pub fn run_workload(workload: Workload, cfg: &MachineConfig, params: &WorkloadParams) -> Cycle {
+/// Runs one workload on one machine configuration and returns the full run
+/// report. Panics loudly — naming the cycle limit — when the run aborted,
+/// instead of letting a truncated result masquerade as a measurement.
+pub fn run_workload_report(
+    workload: Workload,
+    cfg: &MachineConfig,
+    params: &WorkloadParams,
+) -> RunReport {
     let programs = workload.programs(cfg.nodes, params);
     let mut machine = Machine::new(cfg.clone(), programs);
     let report = machine.run();
+    assert!(
+        !report.aborted,
+        "{workload} on {} ({}) hit the cycle limit (max_cycles = {}) — \
+         results would be silently truncated",
+        cfg.ni_kind,
+        location_name(cfg.device_location),
+        cfg.max_cycles
+    );
     assert!(
         report.completed,
         "{workload} did not complete on {} ({})",
         cfg.ni_kind,
         location_name(cfg.device_location)
     );
-    report.cycles
+    report
+}
+
+/// Runs one workload on one machine configuration and returns the execution
+/// time in cycles.
+pub fn run_workload(workload: Workload, cfg: &MachineConfig, params: &WorkloadParams) -> Cycle {
+    run_workload_report(workload, cfg, params).cycles
+}
+
+/// A deterministic 64-bit digest of everything a [`RunReport`] observes:
+/// completion, cycles, bus occupancy, fabric traffic and per-node stats.
+///
+/// Simulated results are bit-identical across machines, shard policies and
+/// execution modes, so this digest is stable: CI pins the digest of a
+/// reference scaling run and fails if any refactor perturbs the simulation.
+pub fn report_digest(report: &RunReport) -> u64 {
+    // FNV-1a over the report's scalar fields, in a fixed order.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(u64::from(report.completed));
+    mix(u64::from(report.aborted));
+    mix(report.cycles);
+    mix(report.memory_bus_busy);
+    mix(report.io_bus_busy);
+    for &busy in &report.memory_bus_busy_per_node {
+        mix(busy);
+    }
+    mix(report.fabric.messages);
+    mix(report.fabric.wire_bytes);
+    mix(report.fabric.payload_bytes);
+    for stats in &report.node_stats {
+        mix(stats.sent_messages);
+        mix(stats.sent_bytes);
+        mix(stats.sent_fragments);
+        mix(stats.received_fragments);
+        mix(stats.received_messages);
+        mix(stats.received_bytes);
+        mix(stats.compute_cycles);
+        mix(stats.send_full_retries);
+        mix(stats.local_messages);
+    }
+    hash
 }
 
 /// Measures Figure 8's speedups (normalised to `NI2w` on the memory bus) for

@@ -9,6 +9,35 @@ use cni_nic::taxonomy::NiKind;
 use cni_sim::event::QueueBackend;
 use cni_sim::time::Cycle;
 
+/// How a machine's nodes are partitioned into shards for the epoch-driven
+/// execution model (see [`crate::machine`]'s module docs).
+///
+/// Every policy produces **bit-identical simulation results** — sharding
+/// changes how the simulator schedules its own work, never what it computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ShardPolicy {
+    /// One shard: the classic single event loop (the default).
+    #[default]
+    Single,
+    /// Exactly this many shards, clamped to `1..=nodes`.
+    Fixed(usize),
+    /// One shard per contiguous group of this many nodes (a 64-node machine
+    /// with `NodesPerShard(16)` gets 4 shards).
+    NodesPerShard(usize),
+}
+
+impl ShardPolicy {
+    /// The shard count this policy yields for a machine of `nodes` nodes.
+    pub fn resolve(self, nodes: usize) -> usize {
+        let shards = match self {
+            ShardPolicy::Single => 1,
+            ShardPolicy::Fixed(n) => n,
+            ShardPolicy::NodesPerShard(group) => nodes.div_ceil(group.max(1)),
+        };
+        shards.clamp(1, nodes.max(1))
+    }
+}
+
 /// Configuration of a simulated parallel machine (§4.1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
@@ -41,6 +70,15 @@ pub struct MachineConfig {
     /// (the default) is the fast, allocation-free one, the binary heap is
     /// kept for A/B measurement.
     pub queue_backend: QueueBackend,
+    /// How the nodes are partitioned into independently-advancing shards.
+    /// Purely a simulator-performance knob: simulated results are
+    /// bit-identical for every policy.
+    pub shards: ShardPolicy,
+    /// Whether shards advance on worker threads (one per shard) instead of
+    /// round-robining on the calling thread. Results are bit-identical
+    /// either way; only wall-clock differs. Ignored when the policy
+    /// resolves to a single shard.
+    pub parallel: bool,
 }
 
 impl MachineConfig {
@@ -64,6 +102,8 @@ impl MachineConfig {
             delivery_retry_interval: 64,
             max_cycles: 2_000_000_000,
             queue_backend: QueueBackend::default(),
+            shards: ShardPolicy::default(),
+            parallel: false,
         }
     }
 
@@ -136,6 +176,26 @@ impl MachineConfig {
         self
     }
 
+    /// Returns a copy using the given shard policy (simulator-performance
+    /// knob; simulated results are bit-identical for every policy).
+    pub fn with_shards(mut self, policy: ShardPolicy) -> Self {
+        self.shards = policy;
+        self
+    }
+
+    /// Returns a copy that advances shards on worker threads (bit-identical
+    /// results, different wall-clock). Only meaningful together with a
+    /// multi-shard [`MachineConfig::with_shards`] policy.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The number of shards this configuration resolves to.
+    pub fn shard_count(&self) -> usize {
+        self.shards.resolve(self.nodes)
+    }
+
     /// The per-node memory-system configuration implied by this machine
     /// configuration.
     pub fn node_mem_config(&self) -> cni_mem::system::NodeMemConfig {
@@ -192,6 +252,21 @@ mod tests {
         assert_eq!(mem.device_cache_blocks, Some(512));
         let cfg = MachineConfig::isca96_cache_bus(2);
         assert_eq!(cfg.node_mem_config().device_cache_blocks, None);
+    }
+
+    #[test]
+    fn shard_policies_resolve_sanely() {
+        assert_eq!(ShardPolicy::Single.resolve(64), 1);
+        assert_eq!(ShardPolicy::Fixed(4).resolve(64), 4);
+        assert_eq!(ShardPolicy::Fixed(0).resolve(64), 1);
+        assert_eq!(ShardPolicy::Fixed(200).resolve(64), 64);
+        assert_eq!(ShardPolicy::NodesPerShard(16).resolve(64), 4);
+        assert_eq!(ShardPolicy::NodesPerShard(16).resolve(65), 5);
+        assert_eq!(ShardPolicy::NodesPerShard(0).resolve(8), 8);
+        let cfg = MachineConfig::isca96(64, NiKind::Ni2w).with_shards(ShardPolicy::Fixed(4));
+        assert_eq!(cfg.shard_count(), 4);
+        assert!(!cfg.parallel);
+        assert!(cfg.with_parallel(true).parallel);
     }
 
     #[test]

@@ -19,44 +19,76 @@
 //! arrival, and the bus occupancy their uncached status polling would have
 //! generated is accounted in bulk (see
 //! [`cni_mem::system::NodeMemSystem::note_uncached_idle_polling`]).
+//!
+//! # Sharded execution
+//!
+//! The machine does not run one global event loop. Its nodes are partitioned
+//! into contiguous **shards** ([`ShardPolicy`]), each with its own event
+//! queue and per-shard fabric statistics, and the shards advance in
+//! lock-step **epochs** of `network_latency` cycles driven by
+//! [`cni_sim::sharded::run_epochs`] — sequentially round-robined or, with
+//! [`MachineConfig::with_parallel`], one worker thread per shard.
+//!
+//! **Lookahead argument.** The fabric imposes a fixed latency `L` on every
+//! network message and every acknowledgement, and nodes interact *only*
+//! through the fabric. An event emitted at cycle `t` therefore arrives no
+//! earlier than `t + L`; with epochs of length `L`, anything emitted during
+//! epoch `e` arrives in epoch `e + 1` or later. Once the cross-shard traffic
+//! addressed to an epoch has been delivered at its opening barrier, every
+//! shard can process that epoch to completion without ever looking at
+//! another shard — the classic conservative-PDES horizon.
+//!
+//! **Determinism argument.** Lookahead makes parallel execution *safe*; one
+//! more ingredient makes it **bit-identical across shard counts and
+//! execution modes**. All network-borne events — including traffic between
+//! nodes of the *same* shard — are staged in an epoch router and inserted at
+//! the boundary of their arrival epoch, ordered by the sharding-invariant
+//! key `(arrival cycle, origin node, per-origin-node sequence number)`
+//! ([`cni_sim::sharded::Stamp`], stamped from [`node::NodeCore::net_seq`]).
+//! A node's event order is then a pure function of the simulation: locally
+//! scheduled events (`ProcStep`, `DeliveryRetry`) sit at points fixed by the
+//! node's own deterministic execution, network events sit at points fixed by
+//! the epoch grid and the canonical key, and same-cycle FIFO order is the
+//! insertion order those rules pin down. Since nodes cannot affect each
+//! other within a cycle (any interaction rides the fabric and lands `≥ L`
+//! later), per-node event-order invariance implies whole-run invariance:
+//! the 1-shard sequential run, the N-shard sequential run and the N-shard
+//! parallel run produce identical [`RunReport`]s bit for bit
+//! (`tests/sharding.rs` proves this property over randomized machines).
+//!
+//! The run drains completely — every queued event and every in-flight
+//! message is consumed — unless the cycle limit aborts it first
+//! ([`RunReport::aborted`]); completion is then simply "did every program
+//! finish".
 
 pub mod config;
 pub mod node;
 pub mod program;
+mod shard;
 
 use cni_net::fabric::{Fabric, FabricStats};
-use cni_net::message::NodeId;
-use cni_nic::device::{DeliverOutcome, SendOutcome};
-use cni_nic::frag::FragRef;
-use cni_sim::event::EventQueue;
+use cni_sim::sharded::{run_epochs, EpochOutcome, ExecMode};
 use cni_sim::time::Cycle;
 
-use crate::msg::FragPayload;
-
-pub use config::MachineConfig;
+pub use config::{MachineConfig, ShardPolicy};
 pub use node::{NodeCore, NodeStats};
 pub use program::{IdleProgram, ProcCtx, Program};
 
-/// Events the machine schedules.
-#[derive(Debug)]
-enum Event {
-    /// Run one scheduling step of a node's processor.
-    ProcStep(usize),
-    /// A network message arrives at a node's NI.
-    NetArrival(usize, FragPayload),
-    /// An acknowledgement for a message sent from `src` to `dst` arrives back
-    /// at `src`.
-    AckArrival { src: usize, dst: usize },
-    /// A previously refused delivery is retried.
-    DeliveryRetry(usize, FragPayload),
-}
+use shard::MachineShard;
 
 /// Summary of a completed (or aborted) run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
-    /// Whether every program reported completion before `max_cycles`.
+    /// Whether every program reported completion (and the run was not cut
+    /// short by the cycle limit).
     pub completed: bool,
-    /// The cycle at which the last program completed (or the abort time).
+    /// Whether the run hit [`MachineConfig::max_cycles`] with work still
+    /// pending. Distinguishes a cycle-limit abort (`aborted = true`) from a
+    /// clean incompletion such as a deadlocked workload whose events simply
+    /// drained (`completed = false, aborted = false`).
+    pub aborted: bool,
+    /// The cycle at which the last program finished its work (for aborted
+    /// runs: the epoch horizon at which the run was cut off).
     pub cycles: Cycle,
     /// Memory-bus busy cycles summed over all nodes.
     pub memory_bus_busy: Cycle,
@@ -64,7 +96,7 @@ pub struct RunReport {
     pub io_bus_busy: Cycle,
     /// Per-node memory-bus busy cycles.
     pub memory_bus_busy_per_node: Vec<Cycle>,
-    /// Network traffic statistics.
+    /// Network traffic statistics (merged across shards).
     pub fabric: FabricStats,
     /// Per-node workload statistics.
     pub node_stats: Vec<NodeStats>,
@@ -88,31 +120,33 @@ impl RunReport {
 /// A simulated parallel machine.
 pub struct Machine {
     cfg: MachineConfig,
-    nodes: Vec<NodeCore>,
-    programs: Vec<Box<dyn Program>>,
-    events: EventQueue<Event>,
-    fabric: Fabric,
-    finished_at: Option<Cycle>,
+    shards: Vec<MachineShard>,
+    /// `bounds[s]` is the global index of shard `s`'s first node.
+    bounds: Vec<usize>,
+    outcome: Option<EpochOutcome>,
 }
 
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.cfg.nodes)
+            .field("shards", &self.shards.len())
             .field("ni", &self.cfg.ni_kind)
             .field("bus", &self.cfg.device_location)
-            .field("now", &self.events.now())
             .finish()
     }
 }
 
 impl Machine {
-    /// Builds a machine running one program per node.
+    /// Builds a machine running one program per node, partitioned into
+    /// shards according to [`MachineConfig::shards`].
     ///
     /// # Panics
     ///
-    /// Panics if the number of programs differs from the number of nodes.
-    pub fn new(cfg: MachineConfig, programs: Vec<Box<dyn Program>>) -> Self {
+    /// Panics if the number of programs differs from the number of nodes, or
+    /// if the configured network latency is zero (the epoch execution model
+    /// needs at least one cycle of lookahead).
+    pub fn new(cfg: MachineConfig, mut programs: Vec<Box<dyn Program>>) -> Self {
         assert_eq!(
             programs.len(),
             cfg.nodes,
@@ -120,16 +154,34 @@ impl Machine {
             cfg.nodes,
             programs.len()
         );
-        let nodes = (0..cfg.nodes).map(|i| NodeCore::new(i, &cfg)).collect();
-        let fabric = Fabric::new(cfg.timing.network_latency);
-        let events = EventQueue::with_backend(cfg.queue_backend);
+        assert!(
+            cfg.timing.network_latency >= 1,
+            "the sharded machine needs a network latency of at least one cycle of lookahead"
+        );
+        let shard_count = cfg.shard_count();
+        let shared_fabric = Fabric::new(cfg.timing.network_latency);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut bounds = Vec::with_capacity(shard_count);
+        // Contiguous, balanced partition: shard s owns [s*N/S, (s+1)*N/S).
+        for s in 0..shard_count {
+            let lo = s * cfg.nodes / shard_count;
+            let hi = (s + 1) * cfg.nodes / shard_count;
+            bounds.push(lo);
+            let nodes = (lo..hi).map(|i| NodeCore::new(i, &cfg)).collect();
+            let shard_programs: Vec<Box<dyn Program>> = programs.drain(..hi - lo).collect();
+            shards.push(MachineShard::new(
+                lo,
+                nodes,
+                shard_programs,
+                shared_fabric.fork(),
+                &cfg,
+            ));
+        }
         Machine {
             cfg,
-            nodes,
-            programs,
-            events,
-            fabric,
-            finished_at: None,
+            shards,
+            bounds,
+            outcome: None,
         }
     }
 
@@ -138,313 +190,117 @@ impl Machine {
         &self.cfg
     }
 
+    /// Number of shards the machine is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn locate(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.cfg.nodes, "node {index} out of range");
+        let shard = self.bounds.partition_point(|&b| b <= index) - 1;
+        (shard, index - self.bounds[shard])
+    }
+
     /// Read access to a node's runtime state.
     pub fn node(&self, index: usize) -> &NodeCore {
-        &self.nodes[index]
+        let (shard, slot) = self.locate(index);
+        self.shards[shard].node(slot)
     }
 
     /// Downcasts a node's program to a concrete type (for reading results
     /// after a run).
     pub fn program_as<T: 'static>(&self, index: usize) -> Option<&T> {
-        self.programs[index].as_any().downcast_ref::<T>()
+        let (shard, slot) = self.locate(index);
+        self.shards[shard]
+            .program(slot)
+            .as_any()
+            .downcast_ref::<T>()
     }
 
-    /// Network fabric statistics.
+    /// Network fabric statistics, merged across shards.
     pub fn fabric_stats(&self) -> FabricStats {
-        self.fabric.stats()
+        FabricStats::merged(self.shards.iter().map(|s| s.fabric_stats()))
     }
 
-    /// Runs the machine until every program reports completion (or the
-    /// configured cycle limit is reached) and returns a report.
+    /// Runs the machine until every event has drained (or the configured
+    /// cycle limit is reached) and returns a report.
+    ///
+    /// The report is bit-identical for every [`ShardPolicy`] and execution
+    /// mode — sharding only changes the simulator's wall-clock.
     pub fn run(&mut self) -> RunReport {
-        // Kick every node off at cycle zero.
-        for idx in 0..self.nodes.len() {
-            self.schedule_step(idx, 0);
+        for shard in &mut self.shards {
+            shard.prime();
         }
-
-        while let Some((now, event)) = self.events.pop() {
-            if now > self.cfg.max_cycles {
-                break;
-            }
-            match event {
-                Event::ProcStep(idx) => self.proc_step(idx, now),
-                Event::NetArrival(idx, frag) => self.deliver(idx, frag, now),
-                Event::AckArrival { src, dst } => self.handle_ack(src, dst, now),
-                Event::DeliveryRetry(idx, frag) => self.deliver(idx, frag, now),
-            }
-            if self.finished_at.is_none() && self.all_done() {
-                self.finished_at = Some(self.current_completion_time());
-                break;
-            }
-        }
-
+        let epoch = self.cfg.timing.network_latency;
+        let bounds = self.bounds.clone();
+        let shard_of = move |node: u32| bounds.partition_point(|&b| b <= node as usize) - 1;
+        let mode = if self.cfg.parallel && self.shards.len() > 1 {
+            ExecMode::Parallel
+        } else {
+            ExecMode::Sequential
+        };
+        let outcome = run_epochs(
+            &mut self.shards,
+            &shard_of,
+            epoch,
+            self.cfg.max_cycles,
+            mode,
+        );
+        self.outcome = Some(outcome);
         self.report()
     }
 
     // ------------------------------------------------------------------
-    // Event handlers
+    // Reporting
     // ------------------------------------------------------------------
-
-    fn schedule_step(&mut self, idx: usize, at: Cycle) {
-        let node = &mut self.nodes[idx];
-        if !node.step_scheduled {
-            node.step_scheduled = true;
-            let at = at.max(self.events.now());
-            self.events.schedule(at, Event::ProcStep(idx));
-        }
-    }
-
-    fn proc_step(&mut self, idx: usize, event_time: Cycle) {
-        // Temporarily take the program out so it can borrow the node through
-        // a `ProcCtx` without aliasing.
-        let mut program: Box<dyn Program> =
-            std::mem::replace(&mut self.programs[idx], Box::new(IdleProgram));
-        let node = &mut self.nodes[idx];
-        node.step_scheduled = false;
-        let mut t = event_time.max(node.proc_time);
-
-        // Account for the uncached status polling an idle processor would
-        // have performed (NI2w and CNI4 poll uncached registers; the CQ-based
-        // CNIs poll in their cache and generate no bus traffic).
-        if let Some(since) = node.idle_since.take() {
-            if !node.ni.kind().uses_explicit_queues() {
-                node.mem.note_uncached_idle_polling(t.saturating_sub(since));
-            }
-        }
-
-        if !node.started {
-            node.started = true;
-            let mut ctx = ProcCtx::new(node, t);
-            program.start(&mut ctx);
-            t = ctx.finish();
-        }
-
-        let mut did_work = false;
-
-        // 1. Drain the NI receive queue (bounded per step).
-        for _ in 0..self.cfg.recv_batch {
-            let poll = node.ni.proc_poll(t, &mut node.mem);
-            t = poll.done;
-            if !poll.available {
-                break;
-            }
-            let Some(rx) = node.ni.proc_receive(t, &mut node.mem) else {
-                break;
-            };
-            t = rx.done;
-            did_work = true;
-            node.stats.received_fragments += 1;
-            let payload = node.rx_tokens.take(rx.frag.token);
-            node.stats.received_bytes += payload.payload_bytes as u64;
-            if let Some(msg) = node.assembler.push(payload) {
-                node.inbox.push_back(msg);
-            }
-        }
-
-        // 2. Dispatch reassembled messages to the program.
-        for _ in 0..self.cfg.recv_batch {
-            let Some(msg) = node.inbox.pop_front() else {
-                break;
-            };
-            node.stats.received_messages += 1;
-            did_work = true;
-            let mut ctx = ProcCtx::new(node, t);
-            program.on_message(&mut ctx, msg);
-            t = ctx.finish();
-        }
-
-        // 3. Push buffered outgoing fragments into the NI until either the NI
-        //    fills or the sliding window for the head fragment's destination
-        //    is exhausted (§4.1: the *processor* blocks after four
-        //    unacknowledged network messages per destination and falls back
-        //    to draining receives).
-        while let Some(front) = node.outgoing.front() {
-            let dst = front.dst;
-            if !node.window.can_send(dst) {
-                node.stats.send_full_retries += 1;
-                break;
-            }
-            // Move the payload into the token arena (no clones on this path);
-            // a refused fragment is moved back to the buffer's front below.
-            let payload = node.outgoing.pop().expect("front() was Some");
-            let payload_bytes = payload.payload_bytes;
-            let token = node.tx_tokens.insert(payload);
-            let frag = FragRef::new(token, payload_bytes);
-            match node.ni.proc_send(t, &mut node.mem, frag) {
-                SendOutcome::Accepted { done } => {
-                    t = done;
-                    assert!(node.window.try_acquire(dst), "window checked above");
-                    node.stats.sent_fragments += 1;
-                    did_work = true;
-                }
-                SendOutcome::Full { done } => {
-                    t = done;
-                    node.outgoing.push_front(node.tx_tokens.take(token));
-                    node.stats.send_full_retries += 1;
-                    break;
-                }
-            }
-        }
-
-        // 4. Idle hook when nothing else happened.
-        if !did_work && !program.is_done() {
-            let mut ctx = ProcCtx::new(node, t);
-            did_work = program.on_idle(&mut ctx);
-            t = ctx.finish();
-        }
-
-        node.proc_time = t;
-
-        // 5. Decide how this node continues.
-        let can_push_more = node
-            .outgoing
-            .front()
-            .map(|f| node.ni.send_has_room() && node.window.can_send(f.dst))
-            .unwrap_or(false);
-        let more_local_work =
-            !node.inbox.is_empty() || node.ni.recv_queue_len() > 0 || can_push_more;
-        let wants_step = did_work || more_local_work;
-        if wants_step {
-            // Borrow of `node` ends before scheduling.
-            let at = t;
-            self.programs[idx] = program;
-            self.schedule_step(idx, at);
-            self.try_inject(idx, at);
-            return;
-        }
-        node.idle_since = Some(t);
-        self.programs[idx] = program;
-        self.try_inject(idx, t);
-    }
-
-    fn try_inject(&mut self, idx: usize, now: Cycle) {
-        let mut wake_at = None;
-        {
-            let node = &mut self.nodes[idx];
-            let src = node.id;
-            // The NI injects whatever sits in its send queue: window admission
-            // already happened when the processor handed the fragment to the
-            // NI, so there is no head-of-line blocking here.
-            while node.ni.peek_send().is_some() {
-                let (ready, frag) = node
-                    .ni
-                    .device_take_for_injection(now, &mut node.mem)
-                    .expect("peeked fragment must be injectable");
-                let payload = node.tx_tokens.take(frag.token);
-                let dst = payload.dst;
-                let delivery = self
-                    .fabric
-                    .send(ready, src, dst, frag.payload_bytes, payload);
-                self.events.schedule(
-                    delivery.arrives_at,
-                    Event::NetArrival(dst.index(), delivery.message.payload),
-                );
-            }
-            // Freed send-queue space may unblock a node that went idle with
-            // buffered fragments.
-            if node.idle_since.is_some() && !node.outgoing.is_empty() && node.ni.send_has_room() {
-                wake_at = Some(now);
-            }
-        }
-        if let Some(at) = wake_at {
-            self.schedule_step(idx, at);
-        }
-    }
-
-    fn deliver(&mut self, idx: usize, frag: FragPayload, now: Cycle) {
-        let src_index = frag.src.index();
-        let payload_bytes = frag.payload_bytes;
-        // Move the payload into the receive arena (no clones on this path);
-        // a refused delivery moves it back out for the retry event.
-        let (outcome, wake_at) = {
-            let node = &mut self.nodes[idx];
-            let token = node.rx_tokens.insert(frag);
-            let frag_ref = FragRef::new(token, payload_bytes);
-            match node.ni.device_deliver(now, &mut node.mem, frag_ref) {
-                DeliverOutcome::Accepted { done } => {
-                    let wake = node.idle_since.is_some().then_some(done);
-                    (Ok(done), wake)
-                }
-                DeliverOutcome::Refused => (Err(node.rx_tokens.take(token)), None),
-            }
-        };
-        match outcome {
-            Ok(done) => {
-                // Acknowledge back to the sender's sliding window.
-                self.events.schedule(
-                    self.fabric.ack_arrival(done),
-                    Event::AckArrival {
-                        src: src_index,
-                        dst: idx,
-                    },
-                );
-                if let Some(at) = wake_at {
-                    self.schedule_step(idx, at);
-                }
-            }
-            Err(frag) => {
-                // Backpressure: the message waits in the network and the
-                // delivery is retried.
-                self.events.schedule(
-                    now + self.cfg.delivery_retry_interval,
-                    Event::DeliveryRetry(idx, frag),
-                );
-            }
-        }
-    }
-
-    fn handle_ack(&mut self, src: usize, dst: usize, now: Cycle) {
-        let wake = {
-            let node = &mut self.nodes[src];
-            node.window.release(NodeId(dst));
-            // A sender that blocked on the window wakes up to resume pushing
-            // its buffered fragments.
-            node.idle_since.is_some() && !node.outgoing.is_empty()
-        };
-        if wake {
-            self.schedule_step(src, now);
-        }
-        self.try_inject(src, now);
-    }
-
-    // ------------------------------------------------------------------
-    // Completion and reporting
-    // ------------------------------------------------------------------
-
-    fn all_done(&self) -> bool {
-        self.programs.iter().all(|p| p.is_done()) && self.nodes.iter().all(|n| n.is_quiescent())
-    }
-
-    fn current_completion_time(&self) -> Cycle {
-        self.nodes
-            .iter()
-            .map(|n| n.proc_time)
-            .max()
-            .unwrap_or(0)
-            .max(self.events.now())
-    }
 
     fn report(&self) -> RunReport {
-        let cycles = self
-            .finished_at
-            .unwrap_or_else(|| self.current_completion_time());
-        let memory_bus_busy_per_node: Vec<Cycle> = self
-            .nodes
+        let aborted = self.outcome.as_ref().is_some_and(|o| o.aborted);
+        let all_done = self.shards.iter().all(|s| s.programs_done());
+        // A run that drained (rather than aborting) has consumed every event
+        // and every in-flight message, which must leave every node quiescent
+        // — the invariant the old loop checked before declaring completion.
+        debug_assert!(
+            aborted
+                || self
+                    .shards
+                    .iter()
+                    .all(|s| s.nodes().iter().all(|n| n.is_quiescent())),
+            "a drained run left a node with queued work"
+        );
+        let mut cycles = self
+            .shards
             .iter()
-            .map(|n| n.mem.memory_bus().busy_cycles())
+            .map(|s| s.max_proc_time())
+            .max()
+            .unwrap_or(0);
+        if aborted {
+            // Report where the run was cut off, not just how far the
+            // processors got.
+            cycles = cycles.max(self.outcome.as_ref().map_or(0, |o| o.last_horizon));
+        }
+        let memory_bus_busy_per_node: Vec<Cycle> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.nodes().iter().map(|n| n.mem.memory_bus().busy_cycles()))
             .collect();
         RunReport {
-            completed: self.finished_at.is_some(),
+            completed: all_done && !aborted,
+            aborted,
             cycles,
             memory_bus_busy: memory_bus_busy_per_node.iter().sum(),
             io_bus_busy: self
-                .nodes
+                .shards
                 .iter()
-                .map(|n| n.mem.io_bus().busy_cycles())
+                .flat_map(|s| s.nodes().iter().map(|n| n.mem.io_bus().busy_cycles()))
                 .sum(),
             memory_bus_busy_per_node,
-            fabric: self.fabric.stats(),
-            node_stats: self.nodes.iter().map(|n| n.stats).collect(),
+            fabric: self.fabric_stats(),
+            node_stats: self
+                .shards
+                .iter()
+                .flat_map(|s| s.nodes().iter().map(|n| n.stats))
+                .collect(),
         }
     }
 }
@@ -453,6 +309,7 @@ impl Machine {
 mod tests {
     use super::*;
     use crate::msg::AmMessage;
+    use cni_net::message::NodeId;
     use cni_nic::taxonomy::NiKind;
     use std::any::Any;
 
@@ -506,17 +363,25 @@ mod tests {
         }
     }
 
+    fn pitch_catch_programs(count: usize, nodes: usize) -> Vec<Box<dyn Program>> {
+        (0..nodes)
+            .map(|i| -> Box<dyn Program> {
+                match i {
+                    0 => Box::new(Pitcher { count, sent: 0 }),
+                    1 => Box::new(Catcher {
+                        expect: count,
+                        got: 0,
+                        last_value: 0,
+                    }),
+                    _ => Box::new(IdleProgram),
+                }
+            })
+            .collect()
+    }
+
     fn run_pitch_catch(kind: NiKind, count: usize) -> (Machine, RunReport) {
         let cfg = MachineConfig::isca96(2, kind);
-        let programs: Vec<Box<dyn Program>> = vec![
-            Box::new(Pitcher { count, sent: 0 }),
-            Box::new(Catcher {
-                expect: count,
-                got: 0,
-                last_value: 0,
-            }),
-        ];
-        let mut machine = Machine::new(cfg, programs);
+        let mut machine = Machine::new(cfg, pitch_catch_programs(count, 2));
         let report = machine.run();
         (machine, report)
     }
@@ -526,6 +391,7 @@ mod tests {
         for kind in NiKind::ALL {
             let (machine, report) = run_pitch_catch(kind, 20);
             assert!(report.completed, "{kind}: run did not complete");
+            assert!(!report.aborted, "{kind}: run aborted");
             let catcher = machine.program_as::<Catcher>(1).unwrap();
             assert_eq!(catcher.got, 20, "{kind}: lost messages");
             assert_eq!(catcher.last_value, 19, "{kind}: messages out of order");
@@ -604,5 +470,89 @@ mod tests {
         let (_, report) = run_pitch_catch(NiKind::Ni2w, 10);
         let u = report.memory_bus_utilization();
         assert!((0.0..=1.0).contains(&u), "utilisation {u} out of range");
+    }
+
+    #[test]
+    fn sharded_runs_match_the_single_shard_run_bit_for_bit() {
+        let reference = {
+            let cfg = MachineConfig::isca96(4, NiKind::Cni16Q);
+            Machine::new(cfg, pitch_catch_programs(25, 4)).run()
+        };
+        for policy in [ShardPolicy::Fixed(2), ShardPolicy::NodesPerShard(1)] {
+            for parallel in [false, true] {
+                let cfg = MachineConfig::isca96(4, NiKind::Cni16Q)
+                    .with_shards(policy)
+                    .with_parallel(parallel);
+                let report = Machine::new(cfg, pitch_catch_programs(25, 4)).run();
+                assert_eq!(
+                    report, reference,
+                    "{policy:?} parallel={parallel} diverged from the single-shard run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_partition_is_contiguous_and_covers_every_node() {
+        let cfg = MachineConfig::isca96(10, NiKind::Ni2w).with_shards(ShardPolicy::Fixed(3));
+        let machine = Machine::new(cfg, (0..10).map(|_| Box::new(IdleProgram) as _).collect());
+        assert_eq!(machine.shard_count(), 3);
+        for i in 0..10 {
+            assert_eq!(machine.node(i).id, NodeId(i));
+        }
+    }
+
+    #[test]
+    fn cycle_limit_abort_is_reported_distinctly() {
+        // An endless pitcher: never done, always sending.
+        struct Firehose;
+        impl Program for Firehose {
+            fn start(&mut self, _ctx: &mut ProcCtx<'_>) {}
+            fn on_message(&mut self, _ctx: &mut ProcCtx<'_>, _msg: AmMessage) {}
+            fn on_idle(&mut self, ctx: &mut ProcCtx<'_>) -> bool {
+                ctx.send_am(NodeId(1), 1, 12, vec![]);
+                true
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut cfg = MachineConfig::isca96(2, NiKind::Cni512Q);
+        cfg.max_cycles = 20_000;
+        let mut machine = Machine::new(
+            cfg,
+            vec![
+                Box::new(Firehose),
+                Box::new(Catcher {
+                    expect: usize::MAX,
+                    got: 0,
+                    last_value: 0,
+                }),
+            ],
+        );
+        let report = machine.run();
+        assert!(report.aborted, "the firehose must hit the cycle limit");
+        assert!(!report.completed);
+        assert!(report.cycles >= 20_000, "abort cycle not reported");
+
+        // A clean incompletion (deadlocked waiter) drains without aborting.
+        let cfg = MachineConfig::isca96(2, NiKind::Cni512Q);
+        let mut machine = Machine::new(
+            cfg,
+            vec![
+                Box::new(IdleProgram),
+                Box::new(Catcher {
+                    expect: 1,
+                    got: 0,
+                    last_value: 0,
+                }),
+            ],
+        );
+        let report = machine.run();
+        assert!(!report.completed, "the catcher never gets its message");
+        assert!(!report.aborted, "a drained run is not an abort");
     }
 }

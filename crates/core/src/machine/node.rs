@@ -73,6 +73,11 @@ pub struct NodeCore {
     pub started: bool,
     /// Next per-sender user-message id.
     pub next_msg_id: u64,
+    /// Per-node network-emission counter: every network message and every
+    /// acknowledgement this node emits gets the next value. Together with
+    /// the node id it forms the sharding-invariant stamp the epoch router
+    /// sorts cross-shard traffic by (see [`crate::machine`]'s module docs).
+    pub net_seq: u64,
     /// Statistics.
     pub stats: NodeStats,
 }
@@ -124,6 +129,7 @@ impl NodeCore {
             step_scheduled: false,
             started: false,
             next_msg_id: 0,
+            net_seq: 0,
             stats: NodeStats::default(),
         }
     }

@@ -16,7 +16,10 @@ use crate::msg::{fragment_message_with, AmMessage};
 use super::node::NodeCore;
 
 /// A per-node workload.
-pub trait Program {
+///
+/// Programs must be `Send`: the sharded machine model moves each node's
+/// program onto the worker thread that owns its shard.
+pub trait Program: Send {
     /// Called once, before any messages are processed.
     fn start(&mut self, ctx: &mut ProcCtx<'_>);
 

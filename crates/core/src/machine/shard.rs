@@ -1,0 +1,425 @@
+//! One shard of a sharded machine: a contiguous group of nodes, their
+//! programs, a local event queue and a per-shard fabric.
+//!
+//! The event handlers here are the machine model proper — processor steps,
+//! NI deliveries, acknowledgements, delivery retries. They are identical in
+//! spirit to the original monolithic `Machine::run` handlers, with one
+//! structural difference: network-bound traffic (`NetArrival`, `AckArrival`)
+//! is never scheduled directly. It is emitted into the epoch driver's
+//! [`Outbox`] stamped with `(origin node, per-node sequence)` and delivered
+//! at the boundary of the epoch in which it arrives — even when source and
+//! destination share a shard. See [`crate::machine`]'s module docs for why
+//! this uniform routing is what makes results independent of the shard
+//! count.
+
+use cni_net::fabric::{Fabric, FabricStats};
+use cni_net::message::NodeId;
+use cni_nic::device::{DeliverOutcome, SendOutcome};
+use cni_nic::frag::FragRef;
+use cni_sim::event::EventQueue;
+use cni_sim::sharded::{Outbox, ShardSim, Stamp};
+use cni_sim::time::Cycle;
+
+use crate::msg::FragPayload;
+
+use super::config::MachineConfig;
+use super::node::NodeCore;
+use super::program::{IdleProgram, ProcCtx, Program};
+
+/// Events a shard schedules in its local queue. Node-local events
+/// (`ProcStep`, `DeliveryRetry`) are scheduled directly; network-borne ones
+/// (`NetArrival`, `AckArrival`) only ever enter through the epoch router.
+#[derive(Debug)]
+pub(super) enum Event {
+    /// Run one scheduling step of a node's processor.
+    ProcStep(NodeId),
+    /// A network message arrives at a node's NI.
+    NetArrival(NodeId, FragPayload),
+    /// An acknowledgement for a message sent from `src` to `dst` arrives
+    /// back at `src`.
+    AckArrival { src: NodeId, dst: NodeId },
+    /// A previously refused delivery is retried.
+    DeliveryRetry(NodeId, FragPayload),
+}
+
+/// Network-borne traffic routed between shards at epoch boundaries.
+#[derive(Debug)]
+pub(super) enum NetEvent {
+    /// A network message headed for its destination NI (the fragment names
+    /// the destination).
+    Arrival(FragPayload),
+    /// An acknowledgement returning to `src` for a message it sent to `dst`.
+    Ack { src: NodeId, dst: NodeId },
+}
+
+/// A contiguous slice of the machine, advancing independently within epochs.
+pub(super) struct MachineShard {
+    /// Global index of the first node owned by this shard.
+    base: usize,
+    nodes: Vec<NodeCore>,
+    programs: Vec<Box<dyn Program>>,
+    events: EventQueue<Event>,
+    /// Per-shard fabric: same latency everywhere, statistics accumulate
+    /// locally and merge at reporting time.
+    fabric: Fabric,
+    recv_batch: usize,
+    delivery_retry_interval: Cycle,
+}
+
+impl std::fmt::Debug for MachineShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineShard")
+            .field("base", &self.base)
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.events.now())
+            .field("pending", &self.events.len())
+            .finish()
+    }
+}
+
+impl MachineShard {
+    /// Builds a shard owning nodes `base..base + nodes.len()`.
+    pub(super) fn new(
+        base: usize,
+        nodes: Vec<NodeCore>,
+        programs: Vec<Box<dyn Program>>,
+        fabric: Fabric,
+        cfg: &MachineConfig,
+    ) -> Self {
+        debug_assert_eq!(nodes.len(), programs.len());
+        MachineShard {
+            base,
+            nodes,
+            programs,
+            events: EventQueue::with_backend(cfg.queue_backend),
+            fabric,
+            recv_batch: cfg.recv_batch,
+            delivery_retry_interval: cfg.delivery_retry_interval,
+        }
+    }
+
+    /// Read access to a node by its index *within this shard*.
+    pub(super) fn node(&self, slot: usize) -> &NodeCore {
+        &self.nodes[slot]
+    }
+
+    /// The nodes owned by this shard, in global order.
+    pub(super) fn nodes(&self) -> &[NodeCore] {
+        &self.nodes
+    }
+
+    /// A program by its index within this shard.
+    pub(super) fn program(&self, slot: usize) -> &dyn Program {
+        self.programs[slot].as_ref()
+    }
+
+    /// Whether every program on this shard has reported completion.
+    pub(super) fn programs_done(&self) -> bool {
+        self.programs.iter().all(|p| p.is_done())
+    }
+
+    /// This shard's fabric statistics.
+    pub(super) fn fabric_stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+
+    /// Latest processor time across this shard's nodes.
+    pub(super) fn max_proc_time(&self) -> Cycle {
+        self.nodes.iter().map(|n| n.proc_time).max().unwrap_or(0)
+    }
+
+    /// Schedules the initial `ProcStep` for every node (cycle 0).
+    pub(super) fn prime(&mut self) {
+        for slot in 0..self.nodes.len() {
+            let id = self.nodes[slot].id;
+            self.schedule_step(id, 0);
+        }
+    }
+
+    fn slot(&self, id: NodeId) -> usize {
+        let slot = id.index() - self.base;
+        debug_assert!(slot < self.nodes.len(), "{id} is not on this shard");
+        slot
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn schedule_step(&mut self, id: NodeId, at: Cycle) {
+        let slot = self.slot(id);
+        let node = &mut self.nodes[slot];
+        if !node.step_scheduled {
+            node.step_scheduled = true;
+            let at = at.max(self.events.now());
+            self.events.schedule(at, Event::ProcStep(id));
+        }
+    }
+
+    fn proc_step(&mut self, id: NodeId, event_time: Cycle, outbox: &mut Outbox<NetEvent>) {
+        let slot = self.slot(id);
+        // Temporarily take the program out so it can borrow the node through
+        // a `ProcCtx` without aliasing.
+        let mut program: Box<dyn Program> =
+            std::mem::replace(&mut self.programs[slot], Box::new(IdleProgram));
+        let node = &mut self.nodes[slot];
+        node.step_scheduled = false;
+        let mut t = event_time.max(node.proc_time);
+
+        // Account for the uncached status polling an idle processor would
+        // have performed (NI2w and CNI4 poll uncached registers; the CQ-based
+        // CNIs poll in their cache and generate no bus traffic).
+        if let Some(since) = node.idle_since.take() {
+            if !node.ni.kind().uses_explicit_queues() {
+                node.mem.note_uncached_idle_polling(t.saturating_sub(since));
+            }
+        }
+
+        if !node.started {
+            node.started = true;
+            let mut ctx = ProcCtx::new(node, t);
+            program.start(&mut ctx);
+            t = ctx.finish();
+        }
+
+        let mut did_work = false;
+
+        // 1. Drain the NI receive queue (bounded per step).
+        for _ in 0..self.recv_batch {
+            let poll = node.ni.proc_poll(t, &mut node.mem);
+            t = poll.done;
+            if !poll.available {
+                break;
+            }
+            let Some(rx) = node.ni.proc_receive(t, &mut node.mem) else {
+                break;
+            };
+            t = rx.done;
+            did_work = true;
+            node.stats.received_fragments += 1;
+            let payload = node.rx_tokens.take(rx.frag.token);
+            node.stats.received_bytes += payload.payload_bytes as u64;
+            if let Some(msg) = node.assembler.push(payload) {
+                node.inbox.push_back(msg);
+            }
+        }
+
+        // 2. Dispatch reassembled messages to the program.
+        for _ in 0..self.recv_batch {
+            let Some(msg) = node.inbox.pop_front() else {
+                break;
+            };
+            node.stats.received_messages += 1;
+            did_work = true;
+            let mut ctx = ProcCtx::new(node, t);
+            program.on_message(&mut ctx, msg);
+            t = ctx.finish();
+        }
+
+        // 3. Push buffered outgoing fragments into the NI until either the NI
+        //    fills or the sliding window for the head fragment's destination
+        //    is exhausted (§4.1: the *processor* blocks after four
+        //    unacknowledged network messages per destination and falls back
+        //    to draining receives).
+        while let Some(front) = node.outgoing.front() {
+            let dst = front.dst;
+            if !node.window.can_send(dst) {
+                node.stats.send_full_retries += 1;
+                break;
+            }
+            // Move the payload into the token arena (no clones on this path);
+            // a refused fragment is moved back to the buffer's front below.
+            let payload = node.outgoing.pop().expect("front() was Some");
+            let payload_bytes = payload.payload_bytes;
+            let token = node.tx_tokens.insert(payload);
+            let frag = FragRef::new(token, payload_bytes);
+            match node.ni.proc_send(t, &mut node.mem, frag) {
+                SendOutcome::Accepted { done } => {
+                    t = done;
+                    assert!(node.window.try_acquire(dst), "window checked above");
+                    node.stats.sent_fragments += 1;
+                    did_work = true;
+                }
+                SendOutcome::Full { done } => {
+                    t = done;
+                    node.outgoing.push_front(node.tx_tokens.take(token));
+                    node.stats.send_full_retries += 1;
+                    break;
+                }
+            }
+        }
+
+        // 4. Idle hook when nothing else happened.
+        if !did_work && !program.is_done() {
+            let mut ctx = ProcCtx::new(node, t);
+            did_work = program.on_idle(&mut ctx);
+            t = ctx.finish();
+        }
+
+        node.proc_time = t;
+
+        // 5. Decide how this node continues.
+        let can_push_more = node
+            .outgoing
+            .front()
+            .map(|f| node.ni.send_has_room() && node.window.can_send(f.dst))
+            .unwrap_or(false);
+        let more_local_work =
+            !node.inbox.is_empty() || node.ni.recv_queue_len() > 0 || can_push_more;
+        let wants_step = did_work || more_local_work;
+        if wants_step {
+            // Borrow of `node` ends before scheduling.
+            let at = t;
+            self.programs[slot] = program;
+            self.schedule_step(id, at);
+            self.try_inject(id, at, outbox);
+            return;
+        }
+        node.idle_since = Some(t);
+        self.programs[slot] = program;
+        self.try_inject(id, t, outbox);
+    }
+
+    fn try_inject(&mut self, id: NodeId, now: Cycle, outbox: &mut Outbox<NetEvent>) {
+        let slot = self.slot(id);
+        let mut wake_at = None;
+        {
+            let node = &mut self.nodes[slot];
+            let src = node.id;
+            // The NI injects whatever sits in its send queue: window admission
+            // already happened when the processor handed the fragment to the
+            // NI, so there is no head-of-line blocking here.
+            while node.ni.peek_send().is_some() {
+                let (ready, frag) = node
+                    .ni
+                    .device_take_for_injection(now, &mut node.mem)
+                    .expect("peeked fragment must be injectable");
+                let payload = node.tx_tokens.take(frag.token);
+                let dst = payload.dst;
+                let delivery = self
+                    .fabric
+                    .send(ready, src, dst, frag.payload_bytes, payload);
+                let stamp = Stamp {
+                    origin: src.index() as u32,
+                    seq: node.net_seq,
+                };
+                node.net_seq += 1;
+                outbox.send(
+                    dst.index() as u32,
+                    delivery.arrives_at,
+                    stamp,
+                    NetEvent::Arrival(delivery.message.payload),
+                );
+            }
+            // Freed send-queue space may unblock a node that went idle with
+            // buffered fragments.
+            if node.idle_since.is_some() && !node.outgoing.is_empty() && node.ni.send_has_room() {
+                wake_at = Some(now);
+            }
+        }
+        if let Some(at) = wake_at {
+            self.schedule_step(id, at);
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        id: NodeId,
+        frag: FragPayload,
+        now: Cycle,
+        outbox: &mut Outbox<NetEvent>,
+    ) {
+        let slot = self.slot(id);
+        let src = frag.src;
+        let payload_bytes = frag.payload_bytes;
+        // Move the payload into the receive arena (no clones on this path);
+        // a refused delivery moves it back out for the retry event.
+        let (outcome, wake_at) = {
+            let node = &mut self.nodes[slot];
+            let token = node.rx_tokens.insert(frag);
+            let frag_ref = FragRef::new(token, payload_bytes);
+            match node.ni.device_deliver(now, &mut node.mem, frag_ref) {
+                DeliverOutcome::Accepted { done } => {
+                    let wake = node.idle_since.is_some().then_some(done);
+                    let stamp = Stamp {
+                        origin: id.index() as u32,
+                        seq: node.net_seq,
+                    };
+                    node.net_seq += 1;
+                    (Ok((done, stamp)), wake)
+                }
+                DeliverOutcome::Refused => (Err(node.rx_tokens.take(token)), None),
+            }
+        };
+        match outcome {
+            Ok((done, stamp)) => {
+                // Acknowledge back to the sender's sliding window. The ack is
+                // network traffic, so it takes the epoch router like any
+                // other cross-node event.
+                outbox.send(
+                    src.index() as u32,
+                    self.fabric.ack_arrival(done),
+                    stamp,
+                    NetEvent::Ack { src, dst: id },
+                );
+                if let Some(at) = wake_at {
+                    self.schedule_step(id, at);
+                }
+            }
+            Err(frag) => {
+                // Backpressure: the message waits in the network and the
+                // delivery is retried. Node-local, so scheduled directly.
+                self.events.schedule(
+                    now + self.delivery_retry_interval,
+                    Event::DeliveryRetry(id, frag),
+                );
+            }
+        }
+    }
+
+    fn handle_ack(&mut self, src: NodeId, dst: NodeId, now: Cycle, outbox: &mut Outbox<NetEvent>) {
+        let slot = self.slot(src);
+        let wake = {
+            let node = &mut self.nodes[slot];
+            node.window.release(dst);
+            // A sender that blocked on the window wakes up to resume pushing
+            // its buffered fragments.
+            node.idle_since.is_some() && !node.outgoing.is_empty()
+        };
+        if wake {
+            self.schedule_step(src, now);
+        }
+        self.try_inject(src, now, outbox);
+    }
+}
+
+impl ShardSim for MachineShard {
+    type Msg = NetEvent;
+
+    fn accept(&mut self, at: Cycle, msg: NetEvent) {
+        match msg {
+            NetEvent::Arrival(frag) => {
+                let dst = frag.dst;
+                self.events.schedule(at, Event::NetArrival(dst, frag));
+            }
+            NetEvent::Ack { src, dst } => {
+                self.events.schedule(at, Event::AckArrival { src, dst });
+            }
+        }
+    }
+
+    fn advance(&mut self, horizon: Cycle, outbox: &mut Outbox<NetEvent>) {
+        while let Some((now, event)) = self.events.pop_before(horizon) {
+            match event {
+                Event::ProcStep(id) => self.proc_step(id, now, outbox),
+                Event::NetArrival(id, frag) => self.deliver(id, frag, now, outbox),
+                Event::AckArrival { src, dst } => self.handle_ack(src, dst, now, outbox),
+                Event::DeliveryRetry(id, frag) => self.deliver(id, frag, now, outbox),
+            }
+        }
+    }
+
+    fn next_event_time(&self) -> Option<Cycle> {
+        self.events.peek_time()
+    }
+}

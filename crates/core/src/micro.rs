@@ -177,6 +177,11 @@ pub fn round_trip_latency(cfg: &MachineConfig, params: &LatencyParams) -> Latenc
     let mut machine = Machine::new(cfg.clone(), programs);
     let report = machine.run();
     assert!(
+        !report.aborted,
+        "latency microbenchmark hit the cycle limit (max_cycles = {}) on {}",
+        cfg.max_cycles, cfg.ni_kind
+    );
+    assert!(
         report.completed,
         "latency microbenchmark did not complete ({} iterations of {} bytes on {})",
         params.iterations, params.message_bytes, cfg.ni_kind
@@ -330,6 +335,11 @@ pub fn stream_bandwidth(cfg: &MachineConfig, params: &BandwidthParams) -> Bandwi
         .collect();
     let mut machine = Machine::new(cfg.clone(), programs);
     let report = machine.run();
+    assert!(
+        !report.aborted,
+        "bandwidth microbenchmark hit the cycle limit (max_cycles = {}) on {}",
+        cfg.max_cycles, cfg.ni_kind
+    );
     assert!(
         report.completed,
         "bandwidth microbenchmark did not complete ({} x {} bytes on {})",

@@ -23,6 +23,11 @@ pub struct Delivery<P> {
 }
 
 /// Aggregate fabric statistics.
+///
+/// Counters are purely additive, so a sharded machine accumulates one
+/// `FabricStats` per shard (no shared mutable fabric on the hot path) and
+/// [`FabricStats::merge`]s them at reporting time; the merged totals are
+/// identical to what a single shared fabric would have counted.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FabricStats {
     /// Network messages injected.
@@ -31,6 +36,24 @@ pub struct FabricStats {
     pub wire_bytes: u64,
     /// User payload bytes injected.
     pub payload_bytes: u64,
+}
+
+impl FabricStats {
+    /// Adds `other`'s counters into `self` (shard-stats aggregation).
+    pub fn merge(&mut self, other: &FabricStats) {
+        self.messages += other.messages;
+        self.wire_bytes += other.wire_bytes;
+        self.payload_bytes += other.payload_bytes;
+    }
+
+    /// Merged copy of an iterator of per-shard statistics.
+    pub fn merged(parts: impl IntoIterator<Item = FabricStats>) -> FabricStats {
+        let mut total = FabricStats::default();
+        for part in parts {
+            total.merge(&part);
+        }
+        total
+    }
 }
 
 /// The network fabric.
@@ -64,6 +87,13 @@ impl Fabric {
     /// The paper's 100-cycle fabric.
     pub fn isca96() -> Self {
         Self::new(100)
+    }
+
+    /// A fresh fabric with the same latency and zeroed statistics — one per
+    /// shard of a sharded machine. Sequence numbers restart per fork; they
+    /// are only unique within one fabric and carry no simulation semantics.
+    pub fn fork(&self) -> Fabric {
+        Fabric::new(self.latency)
     }
 
     /// One-way latency in cycles.
@@ -162,5 +192,24 @@ mod tests {
     fn ack_arrival_is_symmetric() {
         let f = Fabric::new(100);
         assert_eq!(f.ack_arrival(400), 500);
+    }
+
+    #[test]
+    fn forked_shard_stats_merge_to_the_shared_totals() {
+        let mut shared = Fabric::new(10);
+        let mut a = shared.fork();
+        let mut b = shared.fork();
+        for i in 0..5 {
+            shared.send(0, NodeId(0), NodeId(1), 100 + i, ());
+        }
+        for i in 0..3 {
+            a.send(0, NodeId(0), NodeId(1), 100 + i, ());
+        }
+        for i in 3..5 {
+            b.send(0, NodeId(2), NodeId(3), 100 + i, ());
+        }
+        let merged = FabricStats::merged([a.stats(), b.stats()]);
+        assert_eq!(merged, shared.stats());
+        assert_eq!(a.latency(), 10);
     }
 }

@@ -89,7 +89,10 @@ impl DeliverOutcome {
 /// Implementations: [`crate::ni2w::Ni2wDevice`], [`crate::cdr::Cni4Device`]
 /// and [`crate::cniq::CniQDevice`] (which covers `CNI16Q`, `CNI512Q` and
 /// `CNI16Qm`).
-pub trait NiDevice {
+///
+/// Devices must be `Send`: the sharded machine model moves each node — NI
+/// included — onto the worker thread that owns its shard.
+pub trait NiDevice: Send {
     /// Which taxonomy entry this device implements.
     fn kind(&self) -> NiKind;
 

@@ -191,6 +191,19 @@ impl<E> Wheel<E> {
     }
 
     fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.pop_before(Cycle::MAX)
+    }
+
+    /// Pops the earliest event strictly before `horizon`, or `None` if the
+    /// wheel is empty or its earliest event is at or past the horizon.
+    ///
+    /// This is the epoch primitive the sharded machine driver runs on: a
+    /// shard drains its queue with `pop_before(epoch_end)` and stops exactly
+    /// at the epoch boundary without ever observing a later event. A refused
+    /// pop leaves the wheel untouched — in particular `elapsed` does not
+    /// advance, so a later `schedule` close to the current time is never
+    /// clamped differently than it would be on the heap backend.
+    fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, E)> {
         if self.len == 0 {
             return None;
         }
@@ -207,7 +220,16 @@ impl<E> Wheel<E> {
                 .expect("len > 0 implies an occupied slot");
             let slot = self.levels[level].occupied.trailing_zeros() as usize;
             if level == 0 {
+                // A level-0 slot holds exactly one cycle's events; the front
+                // entry's time is the queue minimum.
                 let lvl = &mut self.levels[0];
+                if lvl.slots[slot]
+                    .entries
+                    .front()
+                    .is_some_and(|(at, _)| *at >= horizon)
+                {
+                    return None;
+                }
                 let (at, event) = lvl.slots[slot]
                     .entries
                     .pop_front()
@@ -225,6 +247,29 @@ impl<E> Wheel<E> {
             // strictly lower levels. Draining through `scratch` preserves
             // insertion order, so FIFO-within-cycle survives the cascade.
             let start = slot_start(self.elapsed, level, slot);
+            if start >= horizon {
+                // Every entry in this slot — and, by the level ordering
+                // invariant, every pending entry — is at or past the horizon.
+                return None;
+            }
+            // When the horizon falls *inside* this slot's covered range, the
+            // slot's earliest entry (the queue minimum: lowest occupied
+            // level, earliest slot) decides the outcome — check it before
+            // cascading so a refusal performs no state change at all. Slots
+            // the horizon clears entirely skip the scan, so `pop` (horizon
+            // `Cycle::MAX`) never pays for it.
+            let span = 1u64 << (LEVEL_BITS as usize * level);
+            if horizon < start.saturating_add(span) {
+                let earliest = self.levels[level].slots[slot]
+                    .entries
+                    .iter()
+                    .map(|(at, _)| *at)
+                    .min()
+                    .expect("occupancy bit was set");
+                if earliest >= horizon {
+                    return None;
+                }
+            }
             debug_assert!(start >= self.elapsed);
             let mut scratch = std::mem::take(&mut self.scratch);
             let lvl = &mut self.levels[level];
@@ -401,6 +446,27 @@ impl<E> EventQueue<E> {
         Some((self.now, event))
     }
 
+    /// Pops the earliest event only if it fires strictly before `horizon` —
+    /// the epoch primitive of the sharded machine driver.
+    ///
+    /// Returns `None` (without advancing the clock) when the queue is empty
+    /// or its earliest event is at or past the horizon; the queue remains
+    /// fully usable and later events stay pending. `pop_before(Cycle::MAX)`
+    /// is equivalent to [`EventQueue::pop`].
+    pub fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, E)> {
+        let (at, event) = match &mut self.backend {
+            Backend::Heap(heap) => {
+                if heap.peek().is_none_or(|e| e.at >= horizon) {
+                    return None;
+                }
+                heap.pop().map(|e| (e.at, e.event))?
+            }
+            Backend::Wheel(wheel) => wheel.pop_before(horizon)?,
+        };
+        self.now = self.now.max(at);
+        Some((self.now, event))
+    }
+
     /// Removes all pending events without changing the clock.
     pub fn clear(&mut self) {
         match &mut self.backend {
@@ -548,6 +614,70 @@ mod tests {
         assert_eq!(q.pop(), Some((10_000, 0)));
         assert_eq!(q.pop(), Some((10_000, 1)));
         assert_eq!(q.pop(), Some((10_000, 2)));
+    }
+
+    #[test]
+    fn pop_before_respects_the_horizon() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(5, "a");
+            q.schedule(99, "b");
+            assert_eq!(q.pop_before(5), None, "{backend}: horizon is exclusive");
+            assert_eq!(q.pop_before(6), Some((5, "a")), "{backend}");
+            assert_eq!(q.pop_before(99), None, "{backend}");
+            assert_eq!(q.pop_before(Cycle::MAX), Some((99, "b")), "{backend}");
+            assert_eq!(q.pop_before(Cycle::MAX), None, "{backend}: empty");
+        }
+    }
+
+    #[test]
+    fn refused_pop_before_leaves_the_queue_untouched() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            // 110 sits in a coarse wheel slot whose range straddles the
+            // horizon; the refusal must not cascade-and-clamp.
+            q.schedule(110, "far");
+            assert_eq!(q.pop_before(100), None, "{backend}");
+            assert_eq!(q.now(), 0, "{backend}: refusal advanced the clock");
+            // A later schedule below the refused horizon keeps its exact
+            // time on both backends.
+            q.schedule(50, "near");
+            assert_eq!(q.pop_before(100), Some((50, "near")), "{backend}");
+            assert_eq!(q.pop(), Some((110, "far")), "{backend}");
+        }
+    }
+
+    #[test]
+    fn backends_pop_before_identically_under_random_churn() {
+        let mut rng = DetRng::new(0x90B0);
+        let mut heap = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        let mut wheel = EventQueue::with_backend(QueueBackend::TimingWheel);
+        let mut next_id = 0u64;
+        for _ in 0..5_000 {
+            if rng.gen_bool(0.55) || heap.is_empty() {
+                let delta = match rng.gen_index(8) {
+                    0 => rng.gen_range(1 << 16),
+                    1..=2 => rng.gen_range(2_000),
+                    _ => rng.gen_range(16),
+                };
+                let at = heap.now() + delta;
+                heap.schedule(at, next_id);
+                wheel.schedule(at, next_id);
+                next_id += 1;
+            } else {
+                // Horizons land before, inside and beyond the pending range.
+                let horizon = heap.now() + rng.gen_range(3_000);
+                assert_eq!(heap.pop_before(horizon), wheel.pop_before(horizon));
+                assert_eq!(heap.now(), wheel.now());
+            }
+        }
+        loop {
+            let (h, w) = (heap.pop(), wheel.pop());
+            assert_eq!(h, w);
+            if h.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

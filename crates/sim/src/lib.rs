@@ -27,11 +27,13 @@
 
 pub mod event;
 pub mod rng;
+pub mod sharded;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, QueueBackend};
 pub use rng::DetRng;
+pub use sharded::{run_epochs, EpochOutcome, ExecMode, Outbox, ShardSim, Stamp};
 pub use stats::{Counter, Histogram, OccupancyTracker, StatsRegistry};
 pub use time::{cycles_to_micros, Cycle, PROCESSOR_HZ};

@@ -1,0 +1,556 @@
+//! Conservative parallel discrete-event execution over shards.
+//!
+//! A large simulated machine is partitioned into **shards**, each owning a
+//! disjoint slice of the model state and its own [`EventQueue`]. Shards
+//! advance in lock-step **epochs** of a fixed length chosen to be at most the
+//! model's minimum cross-shard latency (the classic conservative-PDES
+//! *lookahead*): no event emitted during an epoch can arrive inside the same
+//! epoch, so every shard can process its epoch independently — sequentially
+//! or on its own thread — without ever observing a cross-shard event out of
+//! order.
+//!
+//! Cross-shard traffic never goes straight into a destination queue. Emitters
+//! hand `(target, arrival cycle, stamp, message)` records to an [`Outbox`];
+//! at the epoch barrier the driver routes them into per-shard staging areas,
+//! and at the start of the epoch in which they arrive they are delivered in
+//! the canonical order `(arrival cycle, origin, per-origin sequence)`. The
+//! [`Stamp`] is assigned by the *emitting* entity from a counter that
+//! advances with its own deterministic execution, so the canonical order is
+//! a pure function of the simulation — independent of shard count, shard
+//! assignment, and thread scheduling. This is what makes an N-shard parallel
+//! run **bit-identical** to the 1-shard sequential run: per-entity event
+//! order is invariant, and (by the lookahead argument) nothing else can
+//! matter.
+//!
+//! The driver itself is model-agnostic: anything implementing [`ShardSim`]
+//! can be run with [`run_epochs`], in [`ExecMode::Sequential`] (shards
+//! round-robined on the calling thread) or [`ExecMode::Parallel`] (one
+//! worker thread per shard under [`std::thread::scope`], with the calling
+//! thread acting as the router at each barrier). Both modes execute the
+//! exact same event schedule.
+
+use std::sync::mpsc;
+
+use crate::time::Cycle;
+
+/// Deterministic merge key for cross-shard events.
+///
+/// `origin` identifies the emitting entity (for the machine model, a node);
+/// `seq` is that entity's emission counter. Because an entity emits in its
+/// own deterministic execution order, stamps are a pure function of the
+/// simulation and identical under every sharding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stamp {
+    /// The emitting entity (e.g. the node that injected the message).
+    pub origin: u32,
+    /// The entity's emission sequence number.
+    pub seq: u64,
+}
+
+/// One cross-shard event in flight.
+#[derive(Debug)]
+struct Outbound<M> {
+    /// Global index of the target entity (the driver maps it to a shard).
+    target: u32,
+    /// Absolute cycle at which the event arrives.
+    at: Cycle,
+    /// Canonical merge key.
+    stamp: Stamp,
+    /// The event payload.
+    msg: M,
+}
+
+/// Collects the cross-shard events a shard emits while advancing one epoch.
+///
+/// Every network-bound event goes through the outbox — including events whose
+/// target lives on the *same* shard. Uniform routing is load-bearing: it
+/// pins the queue-insertion point of every remote event to an epoch boundary
+/// in every sharding, which is what keeps FIFO-within-cycle order invariant
+/// across shard counts.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    staged: Vec<Outbound<M>>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Outbox<M> {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Outbox { staged: Vec::new() }
+    }
+
+    /// Emits `msg` towards global entity `target`, arriving at cycle `at`.
+    ///
+    /// `at` must be at or beyond the end of the epoch being advanced — the
+    /// driver debug-asserts the lookahead when routing.
+    pub fn send(&mut self, target: u32, at: Cycle, stamp: Stamp, msg: M) {
+        self.staged.push(Outbound {
+            target,
+            at,
+            stamp,
+            msg,
+        });
+    }
+
+    /// Number of staged events.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether the outbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+}
+
+/// One shard of a sharded discrete-event model.
+///
+/// `Send` is required so shards can move to worker threads in
+/// [`ExecMode::Parallel`].
+pub trait ShardSim: Send {
+    /// Cross-shard event payload.
+    type Msg: Send;
+
+    /// Delivers a routed event into the shard's local queue at cycle `at`.
+    ///
+    /// The driver calls this at the start of the epoch containing `at`, in
+    /// canonical `(at, stamp)` order, before [`ShardSim::advance`] for that
+    /// epoch. Implementations simply schedule the event; FIFO insertion
+    /// order *is* the canonical order.
+    fn accept(&mut self, at: Cycle, msg: Self::Msg);
+
+    /// Processes every local event strictly before `horizon`, pushing
+    /// cross-shard emissions into `outbox`.
+    fn advance(&mut self, horizon: Cycle, outbox: &mut Outbox<Self::Msg>);
+
+    /// Cycle of the earliest pending local event, if any — used by the
+    /// driver to fast-forward over empty epochs and to detect termination.
+    fn next_event_time(&self) -> Option<Cycle>;
+}
+
+/// How [`run_epochs`] executes the shards of each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// All shards advance on the calling thread, in shard order.
+    #[default]
+    Sequential,
+    /// One worker thread per shard; the calling thread routes at barriers.
+    /// Produces bit-identical results to [`ExecMode::Sequential`].
+    Parallel,
+}
+
+/// Summary of a completed [`run_epochs`] drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochOutcome {
+    /// Epochs actually executed (empty epochs are skipped, not counted).
+    pub epochs: u64,
+    /// Cross-shard events routed through the barriers.
+    pub routed_events: u64,
+    /// Whether the drive stopped at the cycle limit with work still pending
+    /// (queued events or staged cross-shard traffic), as opposed to running
+    /// until fully drained.
+    pub aborted: bool,
+    /// Exclusive end of the last executed epoch (0 if none ran).
+    pub last_horizon: Cycle,
+}
+
+/// Cross-shard events staged at the router, per destination shard.
+struct Router<M> {
+    staged: Vec<Vec<(Cycle, Stamp, M)>>,
+    routed: u64,
+}
+
+impl<M> Router<M> {
+    fn new(shards: usize) -> Self {
+        Router {
+            staged: (0..shards).map(|_| Vec::new()).collect(),
+            routed: 0,
+        }
+    }
+
+    /// Absorbs a shard's outbox, mapping each event to its target shard.
+    fn absorb(&mut self, outbox: &mut Outbox<M>, shard_of: &dyn Fn(u32) -> usize, floor: Cycle) {
+        for ev in outbox.staged.drain(..) {
+            debug_assert!(
+                ev.at >= floor,
+                "lookahead violation: event for entity {} arrives at {} inside the epoch ending at {}",
+                ev.target,
+                ev.at,
+                floor
+            );
+            self.routed += 1;
+            self.staged[shard_of(ev.target)].push((ev.at, ev.stamp, ev.msg));
+        }
+    }
+
+    /// Earliest staged arrival across all shards.
+    fn next_arrival(&self) -> Option<Cycle> {
+        self.staged
+            .iter()
+            .flat_map(|v| v.iter().map(|(at, _, _)| *at))
+            .min()
+    }
+
+    /// Removes the events for shard `dst` arriving before `horizon`, in
+    /// canonical `(arrival, origin, seq)` order.
+    fn take_due(&mut self, dst: usize, horizon: Cycle) -> Vec<(Cycle, M)> {
+        let pending = &mut self.staged[dst];
+        if pending.iter().all(|(at, _, _)| *at >= horizon) {
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        let mut keep = Vec::with_capacity(pending.len());
+        for entry in pending.drain(..) {
+            if entry.0 < horizon {
+                due.push(entry);
+            } else {
+                keep.push(entry);
+            }
+        }
+        *pending = keep;
+        due.sort_unstable_by_key(|(at, stamp, _)| (*at, *stamp));
+        due.into_iter().map(|(at, _, msg)| (at, msg)).collect()
+    }
+}
+
+/// Plans the next epoch: the epoch-grid slot containing the earliest pending
+/// work, or `None` when everything has drained.
+fn next_epoch(
+    next_events: impl Iterator<Item = Option<Cycle>>,
+    next_arrival: Option<Cycle>,
+    epoch: Cycle,
+) -> Option<(Cycle, Cycle)> {
+    let earliest = next_events.flatten().chain(next_arrival).min()?;
+    let start = (earliest / epoch) * epoch;
+    Some((start, start.saturating_add(epoch)))
+}
+
+/// Drives `shards` in lock-step epochs of `epoch` cycles until every queue
+/// and every in-flight cross-shard event has drained, or until the first
+/// epoch starting beyond `max_cycles`.
+///
+/// `shard_of` maps a global entity index (the `target` of
+/// [`Outbox::send`]) to the index of the shard that owns it. `epoch` must
+/// not exceed the model's minimum cross-shard latency (debug-asserted while
+/// routing) and must be non-zero.
+///
+/// Empty stretches of simulated time are skipped: the driver fast-forwards
+/// to the epoch-grid slot containing the earliest pending event, so idle
+/// machines cost nothing. The epoch grid itself (multiples of `epoch`) is
+/// fixed, which keeps delivery points — and therefore results — independent
+/// of the fast-forwarding.
+///
+/// # Panics
+///
+/// Panics if `epoch` is zero or `shards` is empty.
+pub fn run_epochs<S: ShardSim>(
+    shards: &mut [S],
+    shard_of: &(dyn Fn(u32) -> usize + Sync),
+    epoch: Cycle,
+    max_cycles: Cycle,
+    mode: ExecMode,
+) -> EpochOutcome {
+    assert!(epoch > 0, "epoch length must be non-zero");
+    assert!(!shards.is_empty(), "need at least one shard");
+    match mode {
+        ExecMode::Sequential => run_sequential(shards, shard_of, epoch, max_cycles),
+        ExecMode::Parallel => run_parallel(shards, shard_of, epoch, max_cycles),
+    }
+}
+
+fn run_sequential<S: ShardSim>(
+    shards: &mut [S],
+    shard_of: &dyn Fn(u32) -> usize,
+    epoch: Cycle,
+    max_cycles: Cycle,
+) -> EpochOutcome {
+    let mut router = Router::new(shards.len());
+    let mut outbox = Outbox::new();
+    let mut outcome = EpochOutcome {
+        epochs: 0,
+        routed_events: 0,
+        aborted: false,
+        last_horizon: 0,
+    };
+    loop {
+        let plan = next_epoch(
+            shards.iter().map(|s| s.next_event_time()),
+            router.next_arrival(),
+            epoch,
+        );
+        let Some((start, horizon)) = plan else {
+            break; // fully drained
+        };
+        if start > max_cycles {
+            outcome.aborted = true;
+            break;
+        }
+        outcome.epochs += 1;
+        outcome.last_horizon = horizon;
+        for (i, shard) in shards.iter_mut().enumerate() {
+            for (at, msg) in router.take_due(i, horizon) {
+                shard.accept(at, msg);
+            }
+            shard.advance(horizon, &mut outbox);
+            router.absorb(&mut outbox, shard_of, horizon);
+        }
+    }
+    outcome.routed_events = router.routed;
+    outcome
+}
+
+/// Per-epoch command sent to a shard's worker thread.
+enum Cmd<M> {
+    /// Deliver the (pre-sorted) inbound events, then advance to `horizon`.
+    Epoch {
+        horizon: Cycle,
+        inbound: Vec<(Cycle, M)>,
+    },
+    Stop,
+}
+
+/// A worker's reply after advancing one epoch.
+struct Reply<M> {
+    emitted: Outbox<M>,
+    next_event: Option<Cycle>,
+}
+
+fn run_parallel<S: ShardSim>(
+    shards: &mut [S],
+    shard_of: &(dyn Fn(u32) -> usize + Sync),
+    epoch: Cycle,
+    max_cycles: Cycle,
+) -> EpochOutcome {
+    let shard_count = shards.len();
+    let mut router = Router::new(shard_count);
+    let mut outcome = EpochOutcome {
+        epochs: 0,
+        routed_events: 0,
+        aborted: false,
+        last_horizon: 0,
+    };
+    // The router only ever sees queue states at barriers, so it tracks each
+    // shard's next-event time from the replies instead of touching the shard.
+    let mut next_events: Vec<Option<Cycle>> = shards.iter().map(|s| s.next_event_time()).collect();
+
+    std::thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(shard_count);
+        // One reply channel per worker: if a worker panics mid-epoch its
+        // sender drops, the router's recv() errors instead of blocking
+        // forever, and the scope join re-raises the worker's panic.
+        let mut reply_rxs = Vec::with_capacity(shard_count);
+        for shard in shards.iter_mut() {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd<S::Msg>>();
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply<S::Msg>>();
+            cmd_txs.push(cmd_tx);
+            reply_rxs.push(reply_rx);
+            scope.spawn(move || {
+                let mut outbox = Outbox::new();
+                while let Ok(Cmd::Epoch { horizon, inbound }) = cmd_rx.recv() {
+                    for (at, msg) in inbound {
+                        shard.accept(at, msg);
+                    }
+                    shard.advance(horizon, &mut outbox);
+                    let reply = Reply {
+                        emitted: std::mem::take(&mut outbox),
+                        next_event: shard.next_event_time(),
+                    };
+                    if reply_tx.send(reply).is_err() {
+                        break; // router gone; shut down
+                    }
+                }
+            });
+        }
+
+        'epochs: loop {
+            let plan = next_epoch(next_events.iter().copied(), router.next_arrival(), epoch);
+            let Some((start, horizon)) = plan else {
+                break;
+            };
+            if start > max_cycles {
+                outcome.aborted = true;
+                break;
+            }
+            outcome.epochs += 1;
+            outcome.last_horizon = horizon;
+            for (i, cmd_tx) in cmd_txs.iter().enumerate() {
+                let inbound = router.take_due(i, horizon);
+                if cmd_tx.send(Cmd::Epoch { horizon, inbound }).is_err() {
+                    // The worker died; stop driving and let the scope join
+                    // propagate its panic.
+                    break 'epochs;
+                }
+            }
+            for (i, reply_rx) in reply_rxs.iter().enumerate() {
+                let Ok(mut reply) = reply_rx.recv() else {
+                    break 'epochs;
+                };
+                router.absorb(&mut reply.emitted, shard_of, horizon);
+                next_events[i] = reply.next_event;
+            }
+        }
+        for cmd_tx in &cmd_txs {
+            let _ = cmd_tx.send(Cmd::Stop);
+        }
+        // Dropping cmd_txs at scope exit wakes any worker still blocked on
+        // recv(); scope join then re-raises the first worker panic, if any.
+    });
+    outcome.routed_events = router.routed;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+
+    const LATENCY: Cycle = 10;
+
+    /// A toy model: `n` counters pass tokens around a ring with a fixed
+    /// latency, each hop charging the receiving counter. Deterministic and
+    /// communication-heavy, so it exercises routing, stamps and epochs.
+    /// Like the machine model's fragments, the message carries its
+    /// destination so `accept` can address the exact entity.
+    #[derive(Debug)]
+    enum Ev {
+        Hop { dst: u32, token: u64 },
+    }
+
+    struct RingShard {
+        base: u32,
+        total: u32,
+        hops_left: Vec<u64>,
+        sum: Vec<u64>,
+        seq: Vec<u64>,
+        events: EventQueue<(u32, Ev)>,
+    }
+
+    impl RingShard {
+        fn new(base: u32, count: u32, total: u32, hops: u64) -> Self {
+            let mut events = EventQueue::new();
+            for i in 0..count {
+                // Every counter starts with one token at cycle `global id`.
+                events.schedule(
+                    u64::from(base + i),
+                    (
+                        base + i,
+                        Ev::Hop {
+                            dst: base + i,
+                            token: 1,
+                        },
+                    ),
+                );
+            }
+            RingShard {
+                base,
+                total,
+                hops_left: vec![hops; count as usize],
+                sum: vec![0; count as usize],
+                seq: vec![0; count as usize],
+                events,
+            }
+        }
+    }
+
+    impl ShardSim for RingShard {
+        type Msg = Ev;
+
+        fn accept(&mut self, at: Cycle, msg: Self::Msg) {
+            let Ev::Hop { dst, .. } = msg;
+            self.events.schedule(at, (dst, msg));
+        }
+
+        fn advance(&mut self, horizon: Cycle, outbox: &mut Outbox<Self::Msg>) {
+            while let Some((now, (id, Ev::Hop { token, .. }))) = self.events.pop_before(horizon) {
+                let slot = (id - self.base) as usize;
+                self.sum[slot] = self.sum[slot].wrapping_mul(31).wrapping_add(token ^ now);
+                if self.hops_left[slot] > 0 {
+                    self.hops_left[slot] -= 1;
+                    let next = (id + 1) % self.total;
+                    let stamp = Stamp {
+                        origin: id,
+                        seq: self.seq[slot],
+                    };
+                    self.seq[slot] += 1;
+                    outbox.send(
+                        next,
+                        now + LATENCY,
+                        stamp,
+                        Ev::Hop {
+                            dst: next,
+                            token: token + 1,
+                        },
+                    );
+                }
+            }
+        }
+
+        fn next_event_time(&self) -> Option<Cycle> {
+            self.events.peek_time()
+        }
+    }
+
+    fn run_ring(
+        total: u32,
+        shard_count: u32,
+        hops: u64,
+        mode: ExecMode,
+    ) -> (Vec<u64>, EpochOutcome) {
+        let mut shards = Vec::new();
+        let per = total / shard_count;
+        for s in 0..shard_count {
+            let base = s * per;
+            let count = if s == shard_count - 1 {
+                total - base
+            } else {
+                per
+            };
+            shards.push(RingShard::new(base, count, total, hops));
+        }
+        let bounds: Vec<u32> = (0..shard_count).map(|s| s * per).collect();
+        let shard_of = move |node: u32| -> usize { bounds.partition_point(|&b| b <= node) - 1 };
+        let outcome = run_epochs(&mut shards, &shard_of, LATENCY, Cycle::MAX, mode);
+        let mut sums = Vec::new();
+        for shard in &shards {
+            sums.extend_from_slice(&shard.sum);
+        }
+        (sums, outcome)
+    }
+
+    #[test]
+    fn sharded_ring_is_invariant_across_shard_counts_and_modes() {
+        let (reference, _) = run_ring(12, 1, 40, ExecMode::Sequential);
+        for shard_count in [2, 3, 4] {
+            let (seq, _) = run_ring(12, shard_count, 40, ExecMode::Sequential);
+            assert_eq!(seq, reference, "{shard_count} sequential shards diverged");
+            let (par, _) = run_ring(12, shard_count, 40, ExecMode::Parallel);
+            assert_eq!(par, reference, "{shard_count} parallel shards diverged");
+        }
+    }
+
+    #[test]
+    fn drive_terminates_and_counts_epochs() {
+        let (_, outcome) = run_ring(4, 2, 5, ExecMode::Sequential);
+        assert!(!outcome.aborted);
+        assert!(outcome.epochs > 0);
+        assert!(outcome.routed_events > 0);
+        assert!(outcome.last_horizon > 0);
+    }
+
+    #[test]
+    fn cycle_limit_aborts_with_pending_work() {
+        let (_, outcome) = {
+            let mut shards = vec![RingShard::new(0, 4, 4, u64::MAX)];
+            let shard_of = |_node: u32| 0usize;
+            let outcome = run_epochs(&mut shards, &shard_of, LATENCY, 100, ExecMode::Sequential);
+            ((), outcome)
+        };
+        assert!(outcome.aborted, "an endless ring must hit the cycle limit");
+        assert!(outcome.last_horizon <= 100 + LATENCY);
+    }
+}

@@ -1,0 +1,143 @@
+//! Shard-equivalence properties: sharding is a simulator-performance knob,
+//! never a results knob.
+//!
+//! Every test compares full [`RunReport`]s — execution cycles, fabric
+//! traffic, bus occupancy and per-node statistics — across the 1-shard
+//! sequential run (the reference), an N-shard sequential run and an N-shard
+//! parallel run of the *same* machine. The reports must be bit-identical:
+//! the epoch driver's lookahead plus the canonical `(arrival, origin, seq)`
+//! merge order make per-node event order a pure function of the simulation
+//! (see the `cni::core::machine` module docs for the argument).
+//!
+//! Randomization follows the house style of `tests/properties.rs`: many
+//! cases derived from a fixed master seed via [`DetRng`], so a failure
+//! reproduces exactly and names its case.
+
+use cni::core::machine::{Machine, MachineConfig, RunReport, ShardPolicy};
+use cni::nic::NiKind;
+use cni::sim::event::QueueBackend;
+use cni::sim::rng::DetRng;
+use cni::workloads::{Workload, WorkloadParams};
+
+fn run(cfg: MachineConfig, workload: Workload, params: &WorkloadParams) -> RunReport {
+    let programs = workload.programs(cfg.nodes, params);
+    Machine::new(cfg, programs).run()
+}
+
+/// Sequential 1-shard, sequential N-shard and parallel N-shard runs are
+/// bit-identical for every NI kind, across two workloads with different
+/// communication patterns (fine-grain spsolve, broadcast-heavy gauss) and
+/// randomized machine/shard shapes.
+#[test]
+fn sharding_never_changes_results() {
+    let mut rng = DetRng::new(0x5AAD);
+    for kind in NiKind::ALL {
+        for workload in [Workload::Spsolve, Workload::Gauss] {
+            let nodes = 3 + rng.gen_index(8); // 3..=10
+            let shards = 2 + rng.gen_index(nodes - 1); // 2..=nodes
+            let params = WorkloadParams::tiny();
+            let case = format!("{kind}/{workload}: {nodes} nodes, {shards} shards");
+
+            let reference = run(MachineConfig::isca96(nodes, kind), workload, &params);
+            assert!(reference.completed, "{case}: reference did not complete");
+
+            let sequential = run(
+                MachineConfig::isca96(nodes, kind).with_shards(ShardPolicy::Fixed(shards)),
+                workload,
+                &params,
+            );
+            assert_eq!(
+                sequential, reference,
+                "{case}: sequential N-shard run diverged"
+            );
+
+            let parallel = run(
+                MachineConfig::isca96(nodes, kind)
+                    .with_shards(ShardPolicy::Fixed(shards))
+                    .with_parallel(true),
+                workload,
+                &params,
+            );
+            assert_eq!(parallel, reference, "{case}: parallel N-shard run diverged");
+        }
+    }
+}
+
+/// The two event-queue backends stay pop-order identical under sharding.
+#[test]
+fn sharding_is_backend_independent() {
+    let params = WorkloadParams::tiny();
+    let mut reports = Vec::new();
+    for backend in [QueueBackend::TimingWheel, QueueBackend::BinaryHeap] {
+        for policy in [ShardPolicy::Single, ShardPolicy::Fixed(3)] {
+            reports.push(run(
+                MachineConfig::isca96(6, NiKind::Cni16Qm)
+                    .with_queue_backend(backend)
+                    .with_shards(policy),
+                Workload::Em3d,
+                &params,
+            ));
+        }
+    }
+    for report in &reports[1..] {
+        assert_eq!(*report, reports[0], "backend × sharding grid diverged");
+    }
+}
+
+/// The acceptance-scale case: a 256-node machine on 8 shards — sequential
+/// and parallel — is bit-identical to the 1-shard sequential run.
+#[test]
+fn large_machine_shards_bit_identically() {
+    let nodes = 256;
+    let mut params = WorkloadParams::tiny();
+    // Keep the debug-build runtime sane while still crossing shard
+    // boundaries constantly: a small weak-scaled em3d graph with half its
+    // edges remote.
+    params.em3d.graph_nodes = nodes * 4;
+    params.em3d.remote_fraction = 0.5;
+    params.em3d.iterations = 2;
+
+    let reference = run(
+        MachineConfig::isca96(nodes, NiKind::Cni512Q),
+        Workload::Em3d,
+        &params,
+    );
+    assert!(reference.completed, "256-node reference did not complete");
+    assert!(
+        reference.fabric.messages > 1_000,
+        "the 256-node case should exercise real cross-shard traffic, got {}",
+        reference.fabric.messages
+    );
+
+    for parallel in [false, true] {
+        let report = run(
+            MachineConfig::isca96(nodes, NiKind::Cni512Q)
+                .with_shards(ShardPolicy::Fixed(8))
+                .with_parallel(parallel),
+            Workload::Em3d,
+            &params,
+        );
+        assert_eq!(
+            report, reference,
+            "256-node 8-shard (parallel = {parallel}) run diverged"
+        );
+    }
+}
+
+/// `NodesPerShard` partitions (the "contiguous node group" policy) behave
+/// exactly like their `Fixed` equivalents.
+#[test]
+fn nodes_per_shard_policy_matches_fixed() {
+    let params = WorkloadParams::tiny();
+    let a = run(
+        MachineConfig::isca96(12, NiKind::Cni4).with_shards(ShardPolicy::NodesPerShard(4)),
+        Workload::Moldyn,
+        &params,
+    );
+    let b = run(
+        MachineConfig::isca96(12, NiKind::Cni4).with_shards(ShardPolicy::Fixed(3)),
+        Workload::Moldyn,
+        &params,
+    );
+    assert_eq!(a, b);
+}
