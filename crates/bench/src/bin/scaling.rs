@@ -48,9 +48,20 @@ struct Row {
 }
 
 fn run_one(nodes: usize, shards: usize, parallel: bool, quick: bool) -> (RunReport, Row) {
+    run_policy(nodes, ShardPolicy::Fixed(shards), parallel, quick)
+}
+
+fn run_policy(nodes: usize, policy: ShardPolicy, parallel: bool, quick: bool) -> (RunReport, Row) {
     let cfg = MachineConfig::isca96(nodes, NiKind::Cni512Q)
-        .with_shards(ShardPolicy::Fixed(shards))
+        .with_shards(policy)
         .with_parallel(parallel);
+    let shards = cfg.shard_count();
+    let mode = match (policy, cfg.exec_parallel()) {
+        (ShardPolicy::Auto, true) => "auto+",
+        (ShardPolicy::Auto, false) => "auto",
+        (_, true) => "par",
+        (_, false) => "seq",
+    };
     let params = scaling_params(nodes, quick);
     let programs = Workload::Em3d.programs(nodes, &params);
     let mut machine = Machine::new(cfg, programs);
@@ -66,7 +77,7 @@ fn run_one(nodes: usize, shards: usize, parallel: bool, quick: bool) -> (RunRepo
     let row = Row {
         nodes,
         shards,
-        mode: if parallel { "par" } else { "seq" },
+        mode,
         cycles: report.cycles,
         digest: report_digest(&report),
         wall_seconds,
@@ -105,6 +116,20 @@ fn sweep(node_counts: &[usize], quick: bool) -> Vec<Row> {
                 rows.push(row);
             }
         }
+        // What ShardPolicy::Auto picks on this host, digest-checked like
+        // every other configuration.
+        let (report, row) = run_policy(nodes, ShardPolicy::Auto, false, quick);
+        if let Some(reference) = &reference {
+            if report != *reference {
+                eprintln!(
+                    "scaling: {nodes}-node auto run ({} shards, {}) diverged \
+                     from the 1-shard reference — determinism bug",
+                    row.shards, row.mode
+                );
+                std::process::exit(1);
+            }
+        }
+        rows.push(row);
     }
     rows
 }
@@ -140,7 +165,8 @@ fn print_table(rows: &[Row]) {
     println!("simulator-performance knob, never a results knob.");
 }
 
-/// The CI smoke configuration: 64 nodes, 1-vs-4 shards, both modes.
+/// The CI smoke configuration: 64 nodes, 1-vs-4 shards, both modes, plus
+/// whatever `ShardPolicy::Auto` resolves to on the CI host.
 fn run_ci() {
     let quick = true;
     let (reference, base) = run_one(64, 1, false, quick);
@@ -154,6 +180,15 @@ fn run_ci() {
             );
             std::process::exit(1);
         }
+    }
+    let (report, row) = run_policy(64, ShardPolicy::Auto, false, quick);
+    if report != reference {
+        eprintln!(
+            "scaling --ci: 64-node auto run ({} shards, {}) diverged from the \
+             1-shard reference — determinism bug",
+            row.shards, row.mode
+        );
+        std::process::exit(1);
     }
     // The single line CI pins against SCALING_ref.txt.
     println!("scaling-digest em3d 64n {:016x}", base.digest);

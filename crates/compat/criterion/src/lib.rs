@@ -1,6 +1,10 @@
 //! Offline stand-in for the [Criterion](https://docs.rs/criterion) benchmark
 //! harness.
 //!
+//! Models no part of the paper — this is build plumbing for the simulator
+//! wall-clock benches (the paper's own metrics come from the deterministic
+//! harness binaries, not from Criterion).
+//!
 //! The build environment cannot reach crates.io, so this crate implements the
 //! small slice of the Criterion API the workspace's benches use — benchmark
 //! groups, `bench_function` / `bench_with_input`, `Bencher::iter`, the

@@ -1,5 +1,8 @@
 //! Offline no-op stand-in for `serde_derive`.
 //!
+//! Models no part of the paper — build plumbing only (see the sibling
+//! `serde` shim).
+//!
 //! The build environment has no access to crates.io, and nothing in this
 //! workspace actually serializes values yet — the `#[derive(Serialize,
 //! Deserialize)]` annotations across the simulator are forward-looking API

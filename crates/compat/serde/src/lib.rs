@@ -1,5 +1,8 @@
 //! Offline stand-in for `serde`.
 //!
+//! Models no part of the paper — this is build plumbing so the reproduction
+//! compiles without reaching crates.io.
+//!
 //! The build environment cannot reach crates.io, so this tiny crate provides
 //! the two trait names and the derive macros the workspace imports. The
 //! derives (from the sibling `serde_derive` shim) expand to nothing; the

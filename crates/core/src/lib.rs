@@ -1,4 +1,4 @@
-//! The paper's primary contribution, packaged as a reusable library.
+//! The paper's primary contribution (§2–§3), packaged as a reusable library.
 //!
 //! *Coherent Network Interfaces for Fine-Grain Communication* (Mukherjee,
 //! Falsafi, Hill, Wood — ISCA 1996) introduces two mechanisms for letting a

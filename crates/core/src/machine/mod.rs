@@ -27,7 +27,12 @@
 //! queue and per-shard fabric statistics, and the shards advance in
 //! lock-step **epochs** of `network_latency` cycles driven by
 //! [`cni_sim::sharded::run_epochs`] — sequentially round-robined or, with
-//! [`MachineConfig::with_parallel`], one worker thread per shard.
+//! [`MachineConfig::with_parallel`], on a persistent worker pool (one
+//! worker per shard) that rendezvouses at atomic epoch barriers and skips
+//! the cross-shard exchange for epochs that emitted no traffic.
+//! [`ShardPolicy::Auto`] picks both the shard count and the execution mode
+//! from the host's core count and the machine size, so callers that just
+//! want the fastest correct run can stop hand-tuning.
 //!
 //! **Lookahead argument.** The fabric imposes a fixed latency `L` on every
 //! network message and every acknowledgement, and nodes interact *only*
@@ -234,7 +239,11 @@ impl Machine {
         let epoch = self.cfg.timing.network_latency;
         let bounds = self.bounds.clone();
         let shard_of = move |node: u32| bounds.partition_point(|&b| b <= node as usize) - 1;
-        let mode = if self.cfg.parallel && self.shards.len() > 1 {
+        // `exec_parallel()` re-reads the host's parallelism now, while the
+        // shard partition was fixed at construction — the extra guard keeps
+        // a 1-shard machine sequential even if the visible core count grew
+        // in between.
+        let mode = if self.cfg.exec_parallel() && self.shards.len() > 1 {
             ExecMode::Parallel
         } else {
             ExecMode::Sequential

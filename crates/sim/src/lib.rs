@@ -1,5 +1,11 @@
 //! Discrete-event simulation engine for the CNI (ISCA 1996) reproduction.
 //!
+//! This is the methodology layer (§4 of the paper): the paper's results come
+//! from a cycle-level discrete-event simulation, and this crate is that
+//! engine — including the conservative-PDES shard driver ([`sharded`]) that
+//! lets the reproduction scale past the paper's 16-node machines without
+//! changing a single simulated result.
+//!
 //! This crate is deliberately free of any architecture-specific knowledge: it
 //! provides the time base ([`time::Cycle`]), an ordered event queue
 //! ([`event::EventQueue`]), statistic primitives ([`stats`]), a deterministic

@@ -1,13 +1,13 @@
 //! Conservative parallel discrete-event execution over shards.
 //!
 //! A large simulated machine is partitioned into **shards**, each owning a
-//! disjoint slice of the model state and its own [`EventQueue`]. Shards
-//! advance in lock-step **epochs** of a fixed length chosen to be at most the
-//! model's minimum cross-shard latency (the classic conservative-PDES
-//! *lookahead*): no event emitted during an epoch can arrive inside the same
-//! epoch, so every shard can process its epoch independently — sequentially
-//! or on its own thread — without ever observing a cross-shard event out of
-//! order.
+//! disjoint slice of the model state and its own
+//! [`EventQueue`](crate::event::EventQueue). Shards advance in lock-step
+//! **epochs** of a fixed length chosen to be at most the model's minimum
+//! cross-shard latency (the classic conservative-PDES *lookahead*): no event
+//! emitted during an epoch can arrive inside the same epoch, so every shard
+//! can process its epoch independently — sequentially or on its own thread —
+//! without ever observing a cross-shard event out of order.
 //!
 //! Cross-shard traffic never goes straight into a destination queue. Emitters
 //! hand `(target, arrival cycle, stamp, message)` records to an [`Outbox`];
@@ -24,12 +24,40 @@
 //!
 //! The driver itself is model-agnostic: anything implementing [`ShardSim`]
 //! can be run with [`run_epochs`], in [`ExecMode::Sequential`] (shards
-//! round-robined on the calling thread) or [`ExecMode::Parallel`] (one
-//! worker thread per shard under [`std::thread::scope`], with the calling
-//! thread acting as the router at each barrier). Both modes execute the
-//! exact same event schedule.
+//! round-robined on the calling thread) or [`ExecMode::Parallel`]. Both modes
+//! execute the exact same event schedule.
+//!
+//! # The parallel rendezvous
+//!
+//! [`ExecMode::Parallel`] runs a **persistent worker pool**: one worker per
+//! shard, spawned once per run, synchronized purely through atomics. Each
+//! epoch ends in a sense barrier on an atomic arrival counter; the *last*
+//! worker to arrive becomes that barrier's **finisher**, absorbs every
+//! shard's outbox, plans the next epoch (including fast-forwarding over
+//! empty stretches) and publishes it by bumping an atomic generation counter
+//! that releases the other workers. There is no per-epoch channel traffic,
+//! no dedicated router thread to wake, and no allocation in the steady
+//! state: outboxes and staging buffers are handed over by `Vec` swaps that
+//! retain their capacity.
+//!
+//! The expensive part of a barrier — the cross-shard exchange — is skipped
+//! entirely whenever it has nothing to do: workers raise a shared
+//! "any-outbox-non-empty" flag only when they actually emitted, and a
+//! finisher that observes the flag clear (and no staged traffic pending)
+//! never touches the router. Quiescent stretches therefore run
+//! exchange-free, paying only the atomic barrier itself. The *rendezvous*
+//! still happens every epoch — with a lookahead of exactly one epoch, a
+//! shard cannot know that no other shard emitted until that shard's epoch is
+//! complete, so skipping the barrier itself would race the very traffic it
+//! is waiting for. Skipping the exchange preserves the lookahead argument
+//! unchanged, and bit-identical results with it: an epoch with no emissions
+//! and no staged arrivals routes nothing and delivers nothing in either
+//! mode.
 
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::thread::Thread;
+use std::time::Duration;
 
 use crate::time::Cycle;
 
@@ -139,8 +167,9 @@ pub enum ExecMode {
     /// All shards advance on the calling thread, in shard order.
     #[default]
     Sequential,
-    /// One worker thread per shard; the calling thread routes at barriers.
-    /// Produces bit-identical results to [`ExecMode::Sequential`].
+    /// A persistent worker pool, one worker per shard, rendezvousing at
+    /// atomic epoch barriers (see the module docs). Produces bit-identical
+    /// results to [`ExecMode::Sequential`].
     Parallel,
 }
 
@@ -149,6 +178,11 @@ pub enum ExecMode {
 pub struct EpochOutcome {
     /// Epochs actually executed (empty epochs are skipped, not counted).
     pub epochs: u64,
+    /// Epochs whose close required a cross-shard exchange (some shard
+    /// emitted traffic). Mode-invariant: an epoch's emissions are part of
+    /// the bit-identical schedule, so sequential and parallel runs count the
+    /// same epochs. `epochs - exchanges` barriers ran exchange-free.
+    pub exchanges: u64,
     /// Cross-shard events routed through the barriers.
     pub routed_events: u64,
     /// Whether the drive stopped at the cycle limit with work still pending
@@ -159,7 +193,24 @@ pub struct EpochOutcome {
     pub last_horizon: Cycle,
 }
 
+impl EpochOutcome {
+    fn empty() -> Self {
+        EpochOutcome {
+            epochs: 0,
+            exchanges: 0,
+            routed_events: 0,
+            aborted: false,
+            last_horizon: 0,
+        }
+    }
+}
+
 /// Cross-shard events staged at the router, per destination shard.
+///
+/// Staging order is irrelevant (deliveries sort by the canonical key and
+/// [`Router::next_arrival`] takes a minimum), which lets
+/// [`Router::take_due_into`] partition with `swap_remove` instead of
+/// reallocating.
 struct Router<M> {
     staged: Vec<Vec<(Cycle, Stamp, M)>>,
     routed: u64,
@@ -173,9 +224,16 @@ impl<M> Router<M> {
         }
     }
 
-    /// Absorbs a shard's outbox, mapping each event to its target shard.
-    fn absorb(&mut self, outbox: &mut Outbox<M>, shard_of: &dyn Fn(u32) -> usize, floor: Cycle) {
-        for ev in outbox.staged.drain(..) {
+    /// Absorbs a drained outbox buffer, mapping each event to its target
+    /// shard. `floor` is the horizon of the epoch that emitted the events:
+    /// the lookahead guarantees nothing arrives before it.
+    fn absorb(
+        &mut self,
+        staged: &mut Vec<Outbound<M>>,
+        shard_of: &dyn Fn(u32) -> usize,
+        floor: Cycle,
+    ) {
+        for ev in staged.drain(..) {
             debug_assert!(
                 ev.at >= floor,
                 "lookahead violation: event for entity {} arrives at {} inside the epoch ending at {}",
@@ -188,6 +246,11 @@ impl<M> Router<M> {
         }
     }
 
+    /// Whether any events are staged for any shard.
+    fn has_staged(&self) -> bool {
+        self.staged.iter().any(|v| !v.is_empty())
+    }
+
     /// Earliest staged arrival across all shards.
     fn next_arrival(&self) -> Option<Cycle> {
         self.staged
@@ -196,25 +259,24 @@ impl<M> Router<M> {
             .min()
     }
 
-    /// Removes the events for shard `dst` arriving before `horizon`, in
-    /// canonical `(arrival, origin, seq)` order.
-    fn take_due(&mut self, dst: usize, horizon: Cycle) -> Vec<(Cycle, M)> {
+    /// Moves the events for shard `dst` arriving before `horizon` into
+    /// `out`, in canonical `(arrival, origin, seq)` order. `out` must be
+    /// empty; its capacity is reused across epochs.
+    fn take_due_into(&mut self, dst: usize, horizon: Cycle, out: &mut Vec<(Cycle, Stamp, M)>) {
+        debug_assert!(out.is_empty());
         let pending = &mut self.staged[dst];
-        if pending.iter().all(|(at, _, _)| *at >= horizon) {
-            return Vec::new();
-        }
-        let mut due = Vec::new();
-        let mut keep = Vec::with_capacity(pending.len());
-        for entry in pending.drain(..) {
-            if entry.0 < horizon {
-                due.push(entry);
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 < horizon {
+                out.push(pending.swap_remove(i));
             } else {
-                keep.push(entry);
+                i += 1;
             }
         }
-        *pending = keep;
-        due.sort_unstable_by_key(|(at, stamp, _)| (*at, *stamp));
-        due.into_iter().map(|(at, _, msg)| (at, msg)).collect()
+        // The canonical key is globally unique ((origin, seq) never repeats),
+        // so this sort is a total order and the extraction order above is
+        // immaterial.
+        out.sort_unstable_by_key(|(at, stamp, _)| (*at, *stamp));
     }
 }
 
@@ -271,12 +333,8 @@ fn run_sequential<S: ShardSim>(
 ) -> EpochOutcome {
     let mut router = Router::new(shards.len());
     let mut outbox = Outbox::new();
-    let mut outcome = EpochOutcome {
-        epochs: 0,
-        routed_events: 0,
-        aborted: false,
-        last_horizon: 0,
-    };
+    let mut inbound: Vec<(Cycle, Stamp, S::Msg)> = Vec::new();
+    let mut outcome = EpochOutcome::empty();
     loop {
         let plan = next_epoch(
             shards.iter().map(|s| s.next_event_time()),
@@ -292,32 +350,259 @@ fn run_sequential<S: ShardSim>(
         }
         outcome.epochs += 1;
         outcome.last_horizon = horizon;
+        let routed_before = router.routed;
         for (i, shard) in shards.iter_mut().enumerate() {
-            for (at, msg) in router.take_due(i, horizon) {
+            router.take_due_into(i, horizon, &mut inbound);
+            for (at, _, msg) in inbound.drain(..) {
                 shard.accept(at, msg);
             }
             shard.advance(horizon, &mut outbox);
-            router.absorb(&mut outbox, shard_of, horizon);
+            router.absorb(&mut outbox.staged, shard_of, horizon);
+        }
+        if router.routed > routed_before {
+            outcome.exchanges += 1;
         }
     }
     outcome.routed_events = router.routed;
     outcome
 }
 
-/// Per-epoch command sent to a shard's worker thread.
-enum Cmd<M> {
-    /// Deliver the (pre-sorted) inbound events, then advance to `horizon`.
-    Epoch {
-        horizon: Cycle,
-        inbound: Vec<(Cycle, M)>,
-    },
-    Stop,
+// ---------------------------------------------------------------------------
+// Parallel worker pool
+// ---------------------------------------------------------------------------
+
+/// `next_event` sentinel for "shard has no pending events".
+const NO_EVENT: u64 = u64::MAX;
+
+/// Published plan states (`Shared::plan_state`).
+const PLAN_RUN: u64 = 0;
+const PLAN_DONE: u64 = 1;
+const PLAN_ABORT: u64 = 2;
+
+/// Spins before a waiting worker parks. Zero when the host has a single
+/// core: there, every spin steals the quantum from the worker being waited
+/// on. On multi-core hosts a short spin window catches the common case
+/// (another core publishes within nanoseconds) without a syscall.
+fn spin_limit() -> u32 {
+    static LIMIT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(cores) if cores.get() > 1 => 256,
+        _ => 0,
+    })
 }
 
-/// A worker's reply after advancing one epoch.
-struct Reply<M> {
-    emitted: Outbox<M>,
-    next_event: Option<Cycle>,
+/// Per-worker communication slot. Workers write their own slot between
+/// barriers; the barrier's finisher reads and refills every slot while the
+/// other workers wait, so the mutexes are never contended.
+struct Slot<M> {
+    /// The shard's earliest pending event after its last epoch (`NO_EVENT`
+    /// when drained).
+    next_event: AtomicU64,
+    /// Events due in the epoch being published, in canonical order. Filled
+    /// by the finisher, drained by the owning worker; capacity is reused.
+    inbound: Mutex<Vec<(Cycle, Stamp, M)>>,
+    /// The shard's emissions from the epoch just executed. Swapped in by the
+    /// owning worker (only when non-empty — the exchange-skip fast path),
+    /// drained by the finisher; capacity is reused.
+    outbound: Mutex<Vec<Outbound<M>>>,
+    /// The worker's thread handle, registered before its first wait so any
+    /// finisher can unpark it.
+    thread: Mutex<Option<Thread>>,
+}
+
+/// State shared by the worker pool: the barrier, the published plan, the
+/// staged cross-shard traffic and the accumulating outcome.
+struct Shared<M> {
+    slots: Vec<Slot<M>>,
+    /// Staged cross-shard traffic. Only ever locked by a barrier's finisher
+    /// (and by the caller after the pool has exited), and only when there is
+    /// routing work to do.
+    router: Mutex<Router<M>>,
+    /// Workers arrived at the current epoch's barrier. The worker that
+    /// brings it to `slots.len()` becomes the finisher.
+    arrived: AtomicUsize,
+    /// Barrier generation: bumped (release) once per published plan;
+    /// workers acquire it to observe the plan.
+    generation: AtomicU64,
+    /// Raised by any worker whose epoch emitted cross-shard traffic;
+    /// cleared by the finisher. Clear means the exchange can be skipped.
+    any_traffic: AtomicBool,
+    /// Whether the router holds staged (not yet delivered) events. Written
+    /// only by finishers, which are serialized by the barrier.
+    staged_pending: AtomicBool,
+    /// `PLAN_RUN`, `PLAN_DONE` or `PLAN_ABORT`.
+    plan_state: AtomicU64,
+    /// Exclusive end of the published epoch (valid when `plan_state` is
+    /// `PLAN_RUN`).
+    plan_horizon: AtomicU64,
+    /// Raised by a panicking worker's drop guard so the others stop waiting
+    /// and the scope can propagate the panic.
+    poisoned: AtomicBool,
+    epochs: AtomicU64,
+    exchanges: AtomicU64,
+    last_horizon: AtomicU64,
+    aborted: AtomicBool,
+    epoch: Cycle,
+    max_cycles: Cycle,
+}
+
+impl<M> Shared<M> {
+    fn unpark_all(&self) {
+        for slot in &self.slots {
+            if let Some(thread) = &*slot.thread.lock().unwrap() {
+                thread.unpark();
+            }
+        }
+    }
+
+    /// Publishes a plan and releases every waiting worker.
+    fn publish(&self, state: u64, horizon: Cycle) {
+        self.plan_state.store(state, Ordering::Relaxed);
+        self.plan_horizon.store(horizon, Ordering::Relaxed);
+        self.generation.fetch_add(1, Ordering::Release);
+        self.unpark_all();
+    }
+
+    /// Waits until the generation moves past `seen` (or the pool is
+    /// poisoned), returning the new generation. Spins briefly (multi-core
+    /// hosts only), then parks; the unpark token set by [`Shared::publish`]
+    /// makes the handoff race-free, and the generous timeout turns any lost
+    /// wakeup into a stall instead of a deadlock.
+    fn wait_past(&self, seen: u64) -> u64 {
+        let mut spins = 0u32;
+        loop {
+            let generation = self.generation.load(Ordering::Acquire);
+            if generation != seen || self.poisoned.load(Ordering::Relaxed) {
+                return generation;
+            }
+            if spins < spin_limit() {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::park_timeout(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Wakes the pool if its thread unwinds, so a worker panic propagates as a
+/// panic instead of deadlocking the barrier.
+struct PoisonOnPanic<'a, M>(&'a Shared<M>);
+
+impl<M> Drop for PoisonOnPanic<'_, M> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poisoned.store(true, Ordering::Relaxed);
+            self.0.generation.fetch_add(1, Ordering::Release);
+            self.0.unpark_all();
+        }
+    }
+}
+
+/// The barrier finisher: absorbs emitted traffic (only if any), plans the
+/// next epoch, distributes its due arrivals and publishes it.
+///
+/// `floor` is the horizon of the epoch that just completed — the lookahead
+/// floor for everything absorbed here.
+fn finish_epoch<M: Send>(
+    shared: &Shared<M>,
+    shard_of: &(dyn Fn(u32) -> usize + Sync),
+    floor: Cycle,
+) {
+    // Reset the barrier before releasing anyone: released workers start
+    // arriving at the *next* barrier immediately.
+    shared.arrived.store(0, Ordering::Relaxed);
+
+    let traffic = shared.any_traffic.swap(false, Ordering::Relaxed);
+    let staged = shared.staged_pending.load(Ordering::Relaxed);
+    // The exchange-skip fast path: nothing emitted, nothing staged — the
+    // router cannot have work, so don't even lock it.
+    let mut router: Option<MutexGuard<'_, Router<M>>> = if traffic || staged {
+        Some(shared.router.lock().unwrap())
+    } else {
+        None
+    };
+    if traffic {
+        let router = router.as_mut().expect("locked when traffic was emitted");
+        for slot in &shared.slots {
+            router.absorb(&mut slot.outbound.lock().unwrap(), shard_of, floor);
+        }
+        shared.exchanges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let next_events = shared.slots.iter().map(|slot| {
+        let at = slot.next_event.load(Ordering::Relaxed);
+        (at != NO_EVENT).then_some(at)
+    });
+    let next_arrival = router.as_ref().and_then(|r| r.next_arrival());
+    match next_epoch(next_events, next_arrival, shared.epoch) {
+        None => shared.publish(PLAN_DONE, 0),
+        Some((start, _)) if start > shared.max_cycles => {
+            shared.aborted.store(true, Ordering::Relaxed);
+            shared.publish(PLAN_ABORT, 0);
+        }
+        Some((_, horizon)) => {
+            shared.epochs.fetch_add(1, Ordering::Relaxed);
+            shared.last_horizon.store(horizon, Ordering::Relaxed);
+            if let Some(router) = router.as_mut() {
+                for (i, slot) in shared.slots.iter().enumerate() {
+                    router.take_due_into(i, horizon, &mut slot.inbound.lock().unwrap());
+                }
+                shared
+                    .staged_pending
+                    .store(router.has_staged(), Ordering::Relaxed);
+            }
+            drop(router);
+            shared.publish(PLAN_RUN, horizon);
+        }
+    }
+}
+
+/// One worker's run loop: wait for a plan, deliver the inbound, advance the
+/// shard, hand over emissions, arrive at the barrier (finishing it if last).
+fn run_worker<S: ShardSim>(
+    shard: &mut S,
+    index: usize,
+    shared: &Shared<S::Msg>,
+    shard_of: &(dyn Fn(u32) -> usize + Sync),
+) {
+    *shared.slots[index].thread.lock().unwrap() = Some(std::thread::current());
+    let _poison = PoisonOnPanic(shared);
+    let mut outbox = Outbox::new();
+    let mut generation = 0u64;
+    loop {
+        generation = shared.wait_past(generation);
+        if shared.poisoned.load(Ordering::Relaxed)
+            || shared.plan_state.load(Ordering::Relaxed) != PLAN_RUN
+        {
+            break;
+        }
+        let horizon = shared.plan_horizon.load(Ordering::Relaxed);
+        {
+            let mut inbound = shared.slots[index].inbound.lock().unwrap();
+            for (at, _, msg) in inbound.drain(..) {
+                shard.accept(at, msg);
+            }
+        }
+        shard.advance(horizon, &mut outbox);
+        if !outbox.is_empty() {
+            shared.any_traffic.store(true, Ordering::Relaxed);
+            let mut outbound = shared.slots[index].outbound.lock().unwrap();
+            debug_assert!(outbound.is_empty(), "previous epoch's emissions unrouted");
+            std::mem::swap(&mut *outbound, &mut outbox.staged);
+        }
+        shared.slots[index].next_event.store(
+            shard.next_event_time().unwrap_or(NO_EVENT),
+            Ordering::Relaxed,
+        );
+        // The release half of this increment publishes everything the worker
+        // wrote above; the finisher's acquire half (reading the last value of
+        // the release sequence) observes all of it.
+        let arrived = shared.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == shared.slots.len() {
+            finish_epoch(shared, shard_of, horizon);
+        }
+    }
 }
 
 fn run_parallel<S: ShardSim>(
@@ -326,81 +611,58 @@ fn run_parallel<S: ShardSim>(
     epoch: Cycle,
     max_cycles: Cycle,
 ) -> EpochOutcome {
-    let shard_count = shards.len();
-    let mut router = Router::new(shard_count);
-    let mut outcome = EpochOutcome {
-        epochs: 0,
-        routed_events: 0,
-        aborted: false,
-        last_horizon: 0,
+    let mut outcome = EpochOutcome::empty();
+    // Plan the first epoch on the calling thread (the workers plan every
+    // subsequent one at their barriers).
+    let Some((start, horizon)) =
+        next_epoch(shards.iter().map(|s| s.next_event_time()), None, epoch)
+    else {
+        return outcome; // nothing scheduled at all
     };
-    // The router only ever sees queue states at barriers, so it tracks each
-    // shard's next-event time from the replies instead of touching the shard.
-    let mut next_events: Vec<Option<Cycle>> = shards.iter().map(|s| s.next_event_time()).collect();
-
+    if start > max_cycles {
+        outcome.aborted = true;
+        return outcome;
+    }
+    let shared = Shared {
+        slots: shards
+            .iter()
+            .map(|_| Slot {
+                next_event: AtomicU64::new(NO_EVENT),
+                inbound: Mutex::new(Vec::new()),
+                outbound: Mutex::new(Vec::new()),
+                thread: Mutex::new(None),
+            })
+            .collect(),
+        router: Mutex::new(Router::new(shards.len())),
+        arrived: AtomicUsize::new(0),
+        generation: AtomicU64::new(0),
+        any_traffic: AtomicBool::new(false),
+        staged_pending: AtomicBool::new(false),
+        plan_state: AtomicU64::new(PLAN_RUN),
+        plan_horizon: AtomicU64::new(horizon),
+        poisoned: AtomicBool::new(false),
+        epochs: AtomicU64::new(1),
+        exchanges: AtomicU64::new(0),
+        last_horizon: AtomicU64::new(horizon),
+        aborted: AtomicBool::new(false),
+        epoch,
+        max_cycles,
+    };
+    // Publish the initial plan before any worker starts waiting.
+    shared.generation.store(1, Ordering::Release);
     std::thread::scope(|scope| {
-        let mut cmd_txs = Vec::with_capacity(shard_count);
-        // One reply channel per worker: if a worker panics mid-epoch its
-        // sender drops, the router's recv() errors instead of blocking
-        // forever, and the scope join re-raises the worker's panic.
-        let mut reply_rxs = Vec::with_capacity(shard_count);
-        for shard in shards.iter_mut() {
-            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd<S::Msg>>();
-            let (reply_tx, reply_rx) = mpsc::channel::<Reply<S::Msg>>();
-            cmd_txs.push(cmd_tx);
-            reply_rxs.push(reply_rx);
-            scope.spawn(move || {
-                let mut outbox = Outbox::new();
-                while let Ok(Cmd::Epoch { horizon, inbound }) = cmd_rx.recv() {
-                    for (at, msg) in inbound {
-                        shard.accept(at, msg);
-                    }
-                    shard.advance(horizon, &mut outbox);
-                    let reply = Reply {
-                        emitted: std::mem::take(&mut outbox),
-                        next_event: shard.next_event_time(),
-                    };
-                    if reply_tx.send(reply).is_err() {
-                        break; // router gone; shut down
-                    }
-                }
-            });
+        for (index, shard) in shards.iter_mut().enumerate() {
+            let shared = &shared;
+            scope.spawn(move || run_worker(shard, index, shared, shard_of));
         }
-
-        'epochs: loop {
-            let plan = next_epoch(next_events.iter().copied(), router.next_arrival(), epoch);
-            let Some((start, horizon)) = plan else {
-                break;
-            };
-            if start > max_cycles {
-                outcome.aborted = true;
-                break;
-            }
-            outcome.epochs += 1;
-            outcome.last_horizon = horizon;
-            for (i, cmd_tx) in cmd_txs.iter().enumerate() {
-                let inbound = router.take_due(i, horizon);
-                if cmd_tx.send(Cmd::Epoch { horizon, inbound }).is_err() {
-                    // The worker died; stop driving and let the scope join
-                    // propagate its panic.
-                    break 'epochs;
-                }
-            }
-            for (i, reply_rx) in reply_rxs.iter().enumerate() {
-                let Ok(mut reply) = reply_rx.recv() else {
-                    break 'epochs;
-                };
-                router.absorb(&mut reply.emitted, shard_of, horizon);
-                next_events[i] = reply.next_event;
-            }
-        }
-        for cmd_tx in &cmd_txs {
-            let _ = cmd_tx.send(Cmd::Stop);
-        }
-        // Dropping cmd_txs at scope exit wakes any worker still blocked on
-        // recv(); scope join then re-raises the first worker panic, if any.
+        // The scope join is the only wait: the pool drives itself to
+        // completion (or to a propagating panic).
     });
-    outcome.routed_events = router.routed;
+    outcome.epochs = shared.epochs.load(Ordering::Relaxed);
+    outcome.exchanges = shared.exchanges.load(Ordering::Relaxed);
+    outcome.aborted = shared.aborted.load(Ordering::Relaxed);
+    outcome.last_horizon = shared.last_horizon.load(Ordering::Relaxed);
+    outcome.routed_events = shared.router.lock().unwrap().routed;
     outcome
 }
 
@@ -412,18 +674,24 @@ mod tests {
     const LATENCY: Cycle = 10;
 
     /// A toy model: `n` counters pass tokens around a ring with a fixed
-    /// latency, each hop charging the receiving counter. Deterministic and
-    /// communication-heavy, so it exercises routing, stamps and epochs.
-    /// Like the machine model's fragments, the message carries its
-    /// destination so `accept` can address the exact entity.
+    /// latency, each hop charging the receiving counter. Between hops each
+    /// counter grinds through `local_work` purely local events (one per
+    /// epoch-length stride), so rings with large `local_work` spend most
+    /// epochs emitting nothing — the exchange-skip regime. Deterministic and
+    /// (for `local_work = 0`) communication-heavy, so it exercises routing,
+    /// stamps, epochs and the quiescent fast path. Like the machine model's
+    /// fragments, the message carries its destination so `accept` can
+    /// address the exact entity.
     #[derive(Debug)]
     enum Ev {
         Hop { dst: u32, token: u64 },
+        Local { dst: u32, left: u64 },
     }
 
     struct RingShard {
         base: u32,
         total: u32,
+        local_work: u64,
         hops_left: Vec<u64>,
         sum: Vec<u64>,
         seq: Vec<u64>,
@@ -431,7 +699,7 @@ mod tests {
     }
 
     impl RingShard {
-        fn new(base: u32, count: u32, total: u32, hops: u64) -> Self {
+        fn new(base: u32, count: u32, total: u32, hops: u64, local_work: u64) -> Self {
             let mut events = EventQueue::new();
             for i in 0..count {
                 // Every counter starts with one token at cycle `global id`.
@@ -449,11 +717,35 @@ mod tests {
             RingShard {
                 base,
                 total,
+                local_work,
                 hops_left: vec![hops; count as usize],
                 sum: vec![0; count as usize],
                 seq: vec![0; count as usize],
                 events,
             }
+        }
+
+        fn hop(&mut self, id: u32, token: u64, now: Cycle, outbox: &mut Outbox<Ev>) {
+            let slot = (id - self.base) as usize;
+            if self.hops_left[slot] == 0 {
+                return;
+            }
+            self.hops_left[slot] -= 1;
+            let next = (id + 1) % self.total;
+            let stamp = Stamp {
+                origin: id,
+                seq: self.seq[slot],
+            };
+            self.seq[slot] += 1;
+            outbox.send(
+                next,
+                now + LATENCY,
+                stamp,
+                Ev::Hop {
+                    dst: next,
+                    token: token + 1,
+                },
+            );
         }
     }
 
@@ -461,31 +753,55 @@ mod tests {
         type Msg = Ev;
 
         fn accept(&mut self, at: Cycle, msg: Self::Msg) {
-            let Ev::Hop { dst, .. } = msg;
+            let dst = match &msg {
+                Ev::Hop { dst, .. } | Ev::Local { dst, .. } => *dst,
+            };
             self.events.schedule(at, (dst, msg));
         }
 
         fn advance(&mut self, horizon: Cycle, outbox: &mut Outbox<Self::Msg>) {
-            while let Some((now, (id, Ev::Hop { token, .. }))) = self.events.pop_before(horizon) {
-                let slot = (id - self.base) as usize;
-                self.sum[slot] = self.sum[slot].wrapping_mul(31).wrapping_add(token ^ now);
-                if self.hops_left[slot] > 0 {
-                    self.hops_left[slot] -= 1;
-                    let next = (id + 1) % self.total;
-                    let stamp = Stamp {
-                        origin: id,
-                        seq: self.seq[slot],
-                    };
-                    self.seq[slot] += 1;
-                    outbox.send(
-                        next,
-                        now + LATENCY,
-                        stamp,
-                        Ev::Hop {
-                            dst: next,
-                            token: token + 1,
-                        },
-                    );
+            while let Some((now, (id, event))) = self.events.pop_before(horizon) {
+                match event {
+                    Ev::Hop { token, .. } => {
+                        let slot = (id - self.base) as usize;
+                        self.sum[slot] = self.sum[slot].wrapping_mul(31).wrapping_add(token ^ now);
+                        if self.local_work > 0 {
+                            // Grind locally before passing the token on; the
+                            // grind is node-local, so these epochs emit
+                            // nothing.
+                            self.events.schedule(
+                                now + LATENCY,
+                                (
+                                    id,
+                                    Ev::Local {
+                                        dst: id,
+                                        left: self.local_work,
+                                    },
+                                ),
+                            );
+                        } else {
+                            self.hop(id, token, now, outbox);
+                        }
+                    }
+                    Ev::Local { left, .. } => {
+                        let slot = (id - self.base) as usize;
+                        self.sum[slot] = self.sum[slot].wrapping_mul(17).wrapping_add(now);
+                        if left > 1 {
+                            self.events.schedule(
+                                now + LATENCY,
+                                (
+                                    id,
+                                    Ev::Local {
+                                        dst: id,
+                                        left: left - 1,
+                                    },
+                                ),
+                            );
+                        } else {
+                            let token = self.sum[slot];
+                            self.hop(id, token, now, outbox);
+                        }
+                    }
                 }
             }
         }
@@ -495,10 +811,11 @@ mod tests {
         }
     }
 
-    fn run_ring(
+    fn run_ring_with(
         total: u32,
         shard_count: u32,
         hops: u64,
+        local_work: u64,
         mode: ExecMode,
     ) -> (Vec<u64>, EpochOutcome) {
         let mut shards = Vec::new();
@@ -510,7 +827,7 @@ mod tests {
             } else {
                 per
             };
-            shards.push(RingShard::new(base, count, total, hops));
+            shards.push(RingShard::new(base, count, total, hops, local_work));
         }
         let bounds: Vec<u32> = (0..shard_count).map(|s| s * per).collect();
         let shard_of = move |node: u32| -> usize { bounds.partition_point(|&b| b <= node) - 1 };
@@ -520,6 +837,15 @@ mod tests {
             sums.extend_from_slice(&shard.sum);
         }
         (sums, outcome)
+    }
+
+    fn run_ring(
+        total: u32,
+        shard_count: u32,
+        hops: u64,
+        mode: ExecMode,
+    ) -> (Vec<u64>, EpochOutcome) {
+        run_ring_with(total, shard_count, hops, 0, mode)
     }
 
     #[test]
@@ -540,17 +866,87 @@ mod tests {
         assert!(outcome.epochs > 0);
         assert!(outcome.routed_events > 0);
         assert!(outcome.last_horizon > 0);
+        assert!(outcome.exchanges <= outcome.epochs);
+    }
+
+    #[test]
+    fn quiescent_epochs_skip_the_exchange() {
+        // 30 local grind events between consecutive hops: the overwhelming
+        // majority of epochs emit nothing and must not count as exchanges.
+        let (reference, seq) = run_ring_with(6, 1, 4, 30, ExecMode::Sequential);
+        for shard_count in [2, 3] {
+            let (sums, outcome) = run_ring_with(6, shard_count, 4, 30, ExecMode::Sequential);
+            assert_eq!(sums, reference, "{shard_count} sequential shards diverged");
+            assert_eq!(outcome, seq, "sequential outcome changed with sharding");
+            let (sums, outcome) = run_ring_with(6, shard_count, 4, 30, ExecMode::Parallel);
+            assert_eq!(sums, reference, "{shard_count} parallel shards diverged");
+            assert_eq!(
+                outcome.exchanges, seq.exchanges,
+                "exchange count must be mode-invariant"
+            );
+            assert_eq!(outcome.epochs, seq.epochs);
+        }
+        assert!(
+            seq.exchanges * 4 < seq.epochs,
+            "grinding ring should skip most exchanges: {} of {} epochs exchanged",
+            seq.exchanges,
+            seq.epochs
+        );
     }
 
     #[test]
     fn cycle_limit_aborts_with_pending_work() {
-        let (_, outcome) = {
-            let mut shards = vec![RingShard::new(0, 4, 4, u64::MAX)];
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let mut shards = vec![
+                RingShard::new(0, 2, 4, u64::MAX, 0),
+                RingShard::new(2, 2, 4, u64::MAX, 0),
+            ];
+            let shard_of = |node: u32| usize::from(node >= 2);
+            let outcome = run_epochs(&mut shards, &shard_of, LATENCY, 100, mode);
+            assert!(
+                outcome.aborted,
+                "{mode:?}: an endless ring must hit the cycle limit"
+            );
+            assert!(outcome.last_horizon <= 100 + LATENCY, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn empty_shards_finish_immediately() {
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let mut shards = vec![RingShard::new(0, 2, 4, 0, 0), RingShard::new(2, 2, 4, 0, 0)];
+            for shard in &mut shards {
+                shard.events.clear();
+            }
+            let shard_of = |node: u32| usize::from(node >= 2);
+            let outcome = run_epochs(&mut shards, &shard_of, LATENCY, Cycle::MAX, mode);
+            assert_eq!(outcome, EpochOutcome::empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        /// Panics while advancing its first epoch.
+        struct Bomb {
+            armed: bool,
+        }
+        impl ShardSim for Bomb {
+            type Msg = ();
+            fn accept(&mut self, _at: Cycle, _msg: ()) {}
+            fn advance(&mut self, _horizon: Cycle, _outbox: &mut Outbox<()>) {
+                if self.armed {
+                    panic!("bomb went off");
+                }
+            }
+            fn next_event_time(&self) -> Option<Cycle> {
+                Some(1)
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            let mut shards = vec![Bomb { armed: true }, Bomb { armed: false }];
             let shard_of = |_node: u32| 0usize;
-            let outcome = run_epochs(&mut shards, &shard_of, LATENCY, 100, ExecMode::Sequential);
-            ((), outcome)
-        };
-        assert!(outcome.aborted, "an endless ring must hit the cycle limit");
-        assert!(outcome.last_horizon <= 100 + LATENCY);
+            run_epochs(&mut shards, &shard_of, LATENCY, 100, ExecMode::Parallel)
+        });
+        assert!(result.is_err(), "the worker panic must propagate");
     }
 }

@@ -1,7 +1,9 @@
 //! Quickstart: measure the round-trip latency and streaming bandwidth of one
 //! coherent network interface and compare it with the conventional `NI2w`.
 //!
-//! Run with `cargo run --release --example quickstart`.
+//! Run with `cargo run --release --example quickstart`. A doctested
+//! miniature of this example lives in the root crate docs (`src/lib.rs`),
+//! so `cargo test -q` keeps the API it uses honest.
 
 use cni::core::machine::MachineConfig;
 use cni::core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};

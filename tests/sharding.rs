@@ -124,6 +124,103 @@ fn large_machine_shards_bit_identically() {
     }
 }
 
+/// `ShardPolicy::Auto` resolves shard count and execution mode from the
+/// host shape deterministically: single-core hosts stay sequential (and
+/// only shard big machines, for locality), multi-core hosts go as wide as
+/// the cores and the 16-node-per-shard floor allow, and everything clamps
+/// at the node count.
+#[test]
+fn auto_policy_resolution_covers_host_shapes() {
+    let auto = ShardPolicy::Auto;
+    // (nodes, cores) -> shard count.
+    let expectations = [
+        // One core: sequential sharding only pays off from 256 nodes up.
+        (16, 1, 1),
+        (64, 1, 1),
+        (255, 1, 1),
+        (256, 1, 4),
+        (1024, 1, 4),
+        // Many cores: one shard per core, floored at 16 nodes per shard.
+        (16, 8, 1),
+        (32, 2, 2),
+        (64, 4, 4),
+        (64, 64, 4),
+        (256, 16, 16),
+        (1024, 64, 64),
+        // Clamping at the node count and degenerate core counts.
+        (2, 64, 1),
+        (1, 1, 1),
+        (512, 0, 4),
+    ];
+    for (nodes, cores, want) in expectations {
+        assert_eq!(
+            auto.resolve_for(nodes, cores),
+            want,
+            "Auto at {nodes} nodes / {cores} cores"
+        );
+    }
+    // Auto decides parallelism from the cores, not from the config flag.
+    assert!(auto.resolve_parallel_for(64, 4, false));
+    assert!(!auto.resolve_parallel_for(64, 1, true));
+    // One shard: never parallel.
+    assert!(!auto.resolve_parallel_for(16, 8, true));
+    // The host-reading entry points agree with the pure ones.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    assert_eq!(auto.resolve(100), auto.resolve_for(100, cores));
+    let cfg = MachineConfig::isca96(100, NiKind::Cni512Q).with_shards(ShardPolicy::Auto);
+    assert_eq!(cfg.shard_count(), auto.resolve_for(100, cores));
+    assert_eq!(
+        cfg.exec_parallel(),
+        auto.resolve_parallel_for(100, cores, false)
+    );
+}
+
+/// Randomized property: with the exchange-skipping barrier, every
+/// execution layout — `Auto`, and explicitly parallel shardings on the
+/// persistent worker pool — stays bit-identical to `ShardPolicy::Single`,
+/// for all five NI kinds. The workload mix includes compute-heavy skeletons
+/// (moldyn, appbt) whose quiescent stretches run exchange-free, so the
+/// skip path itself is exercised, not just the dense-traffic path.
+#[test]
+fn barrier_skipping_layouts_match_single_for_every_ni() {
+    let mut rng = DetRng::new(0xBA77_1E55);
+    let workloads = [Workload::Moldyn, Workload::Appbt, Workload::Em3d];
+    for kind in NiKind::ALL {
+        for &workload in &workloads {
+            let nodes = 4 + rng.gen_index(7); // 4..=10
+            let shards = 2 + rng.gen_index(3); // 2..=4
+            let params = WorkloadParams::tiny();
+            let case = format!("{kind}/{workload}: {nodes} nodes, {shards} shards");
+
+            let reference = run(
+                MachineConfig::isca96(nodes, kind).with_shards(ShardPolicy::Single),
+                workload,
+                &params,
+            );
+            assert!(reference.completed, "{case}: reference did not complete");
+
+            let auto = run(
+                MachineConfig::isca96(nodes, kind).with_shards(ShardPolicy::Auto),
+                workload,
+                &params,
+            );
+            assert_eq!(auto, reference, "{case}: Auto layout diverged");
+
+            let parallel = run(
+                MachineConfig::isca96(nodes, kind)
+                    .with_shards(ShardPolicy::Fixed(shards))
+                    .with_parallel(true),
+                workload,
+                &params,
+            );
+            assert_eq!(
+                parallel, reference,
+                "{case}: parallel worker-pool run diverged"
+            );
+        }
+    }
+}
+
 /// `NodesPerShard` partitions (the "contiguous node group" policy) behave
 /// exactly like their `Fixed` equivalents.
 #[test]
