@@ -1,64 +1,36 @@
 //! Ablation study of the three cachable-queue optimisations (§2.2): lazy
-//! pointers, message valid bits and sense reverse. Each is disabled in turn
-//! and the round-trip latency and streaming bandwidth of `CNI512Q` on the
-//! memory bus are re-measured.
+//! pointers, message valid bits and sense reverse, each disabled in turn on
+//! `CNI512Q` (memory bus) and re-measured on the 64-byte round trip and the
+//! 2 KB stream. A thin front-end over
+//! [`cni_bench::campaign::figures::ablation_campaign`].
 //!
-//! Run with `cargo run --release -p cni-bench --bin ablation [quick]`.
+//! Run with `cargo run --release -p cni-bench --bin ablation --
+//! [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR]
+//! [--json]`.
 
-use cni_core::machine::MachineConfig;
-use cni_core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
-use cni_nic::cq_model::CqOptimizations;
-use cni_nic::taxonomy::NiKind;
+use cni_bench::campaign::figures::{ablation_campaign, render_markdown};
+use cni_bench::campaign::{run_campaign, set_json};
+use cni_bench::cli::{usage_error, CampaignCli};
 
-fn variants() -> Vec<(&'static str, CqOptimizations)> {
-    let all = CqOptimizations::default();
-    let mut no_lazy = all;
-    no_lazy.lazy_pointers = false;
-    let mut no_valid = all;
-    no_valid.valid_bits = false;
-    let mut no_sense = all;
-    no_sense.sense_reverse = false;
-    vec![
-        ("all optimisations", all),
-        ("no lazy pointers", no_lazy),
-        ("no valid bits", no_valid),
-        ("no sense reverse", no_sense),
-        ("none", CqOptimizations::none()),
-    ]
-}
+const USAGE: &str = "ablation [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR] \
+                     [--json] [--backend heap|wheel (implies --cold)]";
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
-    let iterations = if quick { 8 } else { 24 };
-    let messages = if quick { 32 } else { 96 };
-
-    println!("Cachable-queue optimisation ablation (CNI512Q, memory bus)");
-    println!(
-        "{:>22} {:>20} {:>20}",
-        "variant", "64B round trip (us)", "2KB stream (rel bw)"
-    );
-    for (name, opts) in variants() {
-        let cfg = MachineConfig::isca96(2, NiKind::Cni512Q).with_cq_opts(opts);
-        let lat = round_trip_latency(
-            &cfg,
-            &LatencyParams {
-                message_bytes: 64,
-                iterations,
-            },
-        );
-        let bw = stream_bandwidth(
-            &cfg,
-            &BandwidthParams {
-                message_bytes: 2048,
-                messages,
-            },
-        );
-        println!(
-            "{:>22} {:>20.2} {:>20.3}",
-            name, lat.round_trip_micros, bw.relative
+    let cli = CampaignCli::parse(USAGE);
+    cli.reject_rest(USAGE);
+    if !cli.workloads.is_empty() {
+        usage_error(
+            USAGE,
+            "ablation is a microbenchmark; it takes no --workload",
         );
     }
-    println!("\nExpected shape: disabling lazy pointers or sense reverse costs latency and/or");
-    println!("bandwidth; valid bits matter most for empty-poll cost (§2.2), which the");
-    println!("round-trip and streaming numbers above only partially expose.");
+    let campaign = ablation_campaign(cli.tier);
+    let run = run_campaign(&campaign, &cli.run_options());
+    if cli.json {
+        println!("{}", set_json(&run, "ablation", ""));
+        return;
+    }
+    println!("## {}\n", run.campaigns[0].title);
+    print!("{}", render_markdown(&run.campaigns[0]));
+    println!("\n{}", CampaignCli::summary_line(&run));
 }

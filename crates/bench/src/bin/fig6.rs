@@ -1,106 +1,32 @@
-//! Regenerates Figure 6: process-to-process round-trip latency versus message
-//! size for every NI on the memory bus (a), the I/O bus (b) and the alternate
-//! buses comparison (c).
+//! Regenerates Figure 6 (§5.1.1): process-to-process round-trip latency
+//! versus message size on the memory bus (a), the I/O bus (b) and the
+//! alternate-buses comparison (c) — a thin front-end over
+//! [`cni_bench::campaign::figures::fig6_campaign`].
 //!
-//! Run with `cargo run --release -p cni-bench --bin fig6 [quick]`.
+//! Run with `cargo run --release -p cni-bench --bin fig6 --
+//! [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR]
+//! [--json]`.
 
-use cni_bench::{fig6_series, location_name, Series, FIG6_SIZES};
-use cni_core::machine::MachineConfig;
-use cni_core::micro::{round_trip_latency, LatencyParams};
-use cni_mem::system::DeviceLocation;
-use cni_nic::taxonomy::NiKind;
+use cni_bench::campaign::figures::{fig6_campaign, render_markdown};
+use cni_bench::campaign::{run_campaign, set_json};
+use cni_bench::cli::{usage_error, CampaignCli};
 
-fn print_panel(title: &str, sizes: &[usize], series: &[Series]) {
-    println!("\n=== {title} ===");
-    print!("{:>10}", "bytes");
-    for s in series {
-        print!("{:>22}", s.label());
-    }
-    println!();
-    for (i, &size) in sizes.iter().enumerate() {
-        print!("{size:>10}");
-        for s in series {
-            print!("{:>22.2}", s.points[i].1);
-        }
-        println!();
-    }
-}
+const USAGE: &str = "fig6 [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR] \
+                     [--json] [--backend heap|wheel (implies --cold)]";
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
-    let iterations = if quick { 6 } else { 24 };
-    let sizes: Vec<usize> = if quick {
-        vec![8, 64, 256]
-    } else {
-        FIG6_SIZES.to_vec()
-    };
-
-    println!("Figure 6: round-trip message latency (microseconds)");
-    println!("{} iterations per point", iterations);
-
-    let mem = fig6_series(DeviceLocation::MemoryBus, &sizes, iterations);
-    print_panel("(a) memory bus", &sizes, &mem);
-
-    let io = fig6_series(DeviceLocation::IoBus, &sizes, iterations);
-    print_panel("(b) I/O bus", &sizes, &io);
-
-    // (c) alternate buses: NI2w on the cache bus, CNI16Qm on the memory bus,
-    // CNI512Q on the I/O bus.
-    let combos = [
-        (NiKind::Ni2w, DeviceLocation::CacheBus),
-        (NiKind::Cni16Qm, DeviceLocation::MemoryBus),
-        (NiKind::Cni512Q, DeviceLocation::IoBus),
-    ];
-    let alt: Vec<Series> = combos
-        .into_iter()
-        .map(|(ni, loc)| {
-            let cfg = MachineConfig::for_bus(2, ni, loc);
-            let points = sizes
-                .iter()
-                .map(|&bytes| {
-                    let r = round_trip_latency(
-                        &cfg,
-                        &LatencyParams {
-                            message_bytes: bytes,
-                            iterations,
-                        },
-                    );
-                    (bytes, r.round_trip_micros)
-                })
-                .collect();
-            Series {
-                ni,
-                location: loc,
-                snarfing: false,
-                points,
-            }
-        })
-        .collect();
-    print_panel("(c) alternate buses", &sizes, &alt);
-
-    // Paper-style summary: CNI improvement over NI2w for small messages.
-    for (name, series) in [("memory bus", &mem), ("I/O bus", &io)] {
-        let ni2w = series.iter().find(|s| s.ni == NiKind::Ni2w).unwrap();
-        let best: &Series = series
-            .iter()
-            .filter(|s| s.ni != NiKind::Ni2w)
-            .min_by(|a, b| {
-                a.points
-                    .last()
-                    .unwrap()
-                    .1
-                    .partial_cmp(&b.points.last().unwrap().1)
-                    .unwrap()
-            })
-            .unwrap();
-        println!("\nBest CNI on the {name}: {}", best.ni);
-        for (i, &size) in sizes.iter().enumerate() {
-            let improvement = (ni2w.points[i].1 / best.points[i].1 - 1.0) * 100.0;
-            println!(
-                "  {size:>5} bytes: NI2w {:>7.2} us, {} {:>7.2} us  ({improvement:+.0}% better)",
-                ni2w.points[i].1, best.ni, best.points[i].1
-            );
-        }
-        let _ = location_name(DeviceLocation::MemoryBus);
+    let cli = CampaignCli::parse(USAGE);
+    cli.reject_rest(USAGE);
+    if !cli.workloads.is_empty() {
+        usage_error(USAGE, "fig6 is a microbenchmark; it takes no --workload");
     }
+    let campaign = fig6_campaign(cli.tier);
+    let run = run_campaign(&campaign, &cli.run_options());
+    if cli.json {
+        println!("{}", set_json(&run, "fig6", ""));
+        return;
+    }
+    println!("## {}\n", run.campaigns[0].title);
+    print!("{}", render_markdown(&run.campaigns[0]));
+    println!("\n{}", CampaignCli::summary_line(&run));
 }

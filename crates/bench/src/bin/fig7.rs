@@ -1,106 +1,32 @@
-//! Regenerates Figure 7: process-to-process bandwidth versus message size,
-//! expressed as a fraction of the bandwidth two processors on the same
-//! memory bus can sustain through a local queue (144 MB/s with the paper's
-//! parameters).
+//! Regenerates Figure 7 (§5.1.2): process-to-process bandwidth versus
+//! message size, relative to the two-processor local-queue maximum,
+//! including the `CNI16Qm + snarf` series — a thin front-end over
+//! [`cni_bench::campaign::figures::fig7_campaign`].
 //!
-//! Run with `cargo run --release -p cni-bench --bin fig7 [quick]`.
+//! Run with `cargo run --release -p cni-bench --bin fig7 --
+//! [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR]
+//! [--json]`.
 
-use cni_bench::{fig7_series, Series, FIG7_SIZES};
-use cni_core::machine::MachineConfig;
-use cni_core::micro::{local_queue_max_bandwidth_mbps, stream_bandwidth, BandwidthParams};
-use cni_mem::system::DeviceLocation;
-use cni_mem::timing::TimingConfig;
-use cni_nic::taxonomy::NiKind;
+use cni_bench::campaign::figures::{fig7_campaign, render_markdown};
+use cni_bench::campaign::{run_campaign, set_json};
+use cni_bench::cli::{usage_error, CampaignCli};
 
-fn print_panel(title: &str, sizes: &[usize], series: &[Series]) {
-    println!("\n=== {title} ===");
-    print!("{:>10}", "bytes");
-    for s in series {
-        print!("{:>26}", s.label());
-    }
-    println!();
-    for (i, &size) in sizes.iter().enumerate() {
-        print!("{size:>10}");
-        for s in series {
-            print!("{:>26.3}", s.points[i].1);
-        }
-        println!();
-    }
-}
+const USAGE: &str = "fig7 [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR] \
+                     [--json] [--backend heap|wheel (implies --cold)]";
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
-    let messages = if quick { 24 } else { 96 };
-    let sizes: Vec<usize> = if quick {
-        vec![64, 512, 4096]
-    } else {
-        FIG7_SIZES.to_vec()
-    };
-
-    println!("Figure 7: relative process-to-process bandwidth");
-    println!(
-        "normalisation: {:.1} MB/s (two-processor local cachable queue)",
-        local_queue_max_bandwidth_mbps(&TimingConfig::isca96())
-    );
-
-    let mem = fig7_series(DeviceLocation::MemoryBus, &sizes, messages);
-    print_panel("(a) memory bus", &sizes, &mem);
-
-    let io = fig7_series(DeviceLocation::IoBus, &sizes, messages);
-    print_panel("(b) I/O bus", &sizes, &io);
-
-    // (c) alternate buses.
-    let combos = [
-        (NiKind::Ni2w, DeviceLocation::CacheBus),
-        (NiKind::Cni16Qm, DeviceLocation::MemoryBus),
-        (NiKind::Cni512Q, DeviceLocation::IoBus),
-    ];
-    let alt: Vec<Series> = combos
-        .into_iter()
-        .map(|(ni, loc)| {
-            let cfg = MachineConfig::for_bus(2, ni, loc);
-            let points = sizes
-                .iter()
-                .map(|&bytes| {
-                    let r = stream_bandwidth(
-                        &cfg,
-                        &BandwidthParams {
-                            message_bytes: bytes,
-                            messages,
-                        },
-                    );
-                    (bytes, r.relative)
-                })
-                .collect();
-            Series {
-                ni,
-                location: loc,
-                snarfing: false,
-                points,
-            }
-        })
-        .collect();
-    print_panel("(c) alternate buses", &sizes, &alt);
-
-    // Paper-style summary: absolute bandwidth of the best CNI at 4 KB.
-    let best = mem
-        .iter()
-        .filter(|s| s.ni != NiKind::Ni2w && !s.snarfing)
-        .max_by(|a, b| {
-            a.points
-                .last()
-                .unwrap()
-                .1
-                .partial_cmp(&b.points.last().unwrap().1)
-                .unwrap()
-        })
-        .unwrap();
-    let max_mbps = local_queue_max_bandwidth_mbps(&TimingConfig::isca96());
-    println!(
-        "\nBest CNI at {} bytes on the memory bus: {} at {:.0} MB/s ({:.0}% of the local-queue maximum)",
-        sizes.last().unwrap(),
-        best.ni,
-        best.points.last().unwrap().1 * max_mbps,
-        best.points.last().unwrap().1 * 100.0
-    );
+    let cli = CampaignCli::parse(USAGE);
+    cli.reject_rest(USAGE);
+    if !cli.workloads.is_empty() {
+        usage_error(USAGE, "fig7 is a microbenchmark; it takes no --workload");
+    }
+    let campaign = fig7_campaign(cli.tier);
+    let run = run_campaign(&campaign, &cli.run_options());
+    if cli.json {
+        println!("{}", set_json(&run, "fig7", ""));
+        return;
+    }
+    println!("## {}\n", run.campaigns[0].title);
+    print!("{}", render_markdown(&run.campaigns[0]));
+    println!("\n{}", CampaignCli::summary_line(&run));
 }

@@ -1,178 +1,51 @@
-//! Regenerates Figure 8: macrobenchmark speedups over `NI2w` on the memory
-//! bus for (a) every NI on the memory bus, (b) every NI on the I/O bus and
-//! (c) the alternate-buses comparison.
+//! Regenerates Figure 8 (§5.2): macrobenchmark speedups over `NI2w` on the
+//! memory bus for every NI on the memory bus (a), the I/O bus (b) and the
+//! alternate-buses comparison (c) — a thin front-end over
+//! [`cni_bench::campaign::figures::fig8_campaign`].
 //!
-//! Run with `cargo run --release -p cni-bench --bin fig8 -- [quick|paper]
-//! [--json] [--backend heap|wheel]`.
+//! Run with `cargo run --release -p cni-bench --bin fig8 --
+//! [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR]
+//! [--json] [--workload NAME]... [--backend heap|wheel]`.
 //!
-//! * `quick` uses tiny inputs, the default uses the scaled-down inputs from
-//!   DESIGN.md and `paper` uses the full Table 3 input sizes (slow).
-//! * `--json` emits the whole sweep — rows, speedups and the harness's
-//!   wall-clock time — as JSON on stdout (the format of `BENCH_seed.json`,
-//!   the repo's simulator-performance trajectory file).
+//! * `--json` emits the sweep in the trajectory format of `BENCH_seed.json`
+//!   (per-panel `(ni, cycles, speedup)` rows plus the harness wall-clock).
+//!   Because that `wall_seconds` field *is* the simulator-performance
+//!   trajectory metric, `--json` **forces a cold run** — a cached
+//!   wall-clock would time nothing.
 //! * `--backend` selects the event-queue backend for A/B simulator-perf
-//!   measurement; simulated results are identical on both (proved by the
-//!   property tests), only the wall-clock differs.
+//!   measurement; simulated results are identical on both. Forces a cold
+//!   run for the same reason.
+//! * `--workload` restricts the sweep (unknown names list the valid ones).
 
-use std::time::Instant;
+use cni_bench::campaign::figures::{fig8_campaign, fig8_trajectory_json, render_markdown};
+use cni_bench::campaign::{run_campaign, CacheMode};
+use cni_bench::cli::CampaignCli;
 
-use cni_bench::{
-    fig8_alternate_buses_with_baselines, fig8_baselines, fig8_speedups_with_baselines,
-    location_name, MacroResult,
-};
-use cni_mem::system::DeviceLocation;
-use cni_sim::event::QueueBackend;
-use cni_workloads::{Workload, WorkloadParams};
-
-fn print_panel(title: &str, results: &[MacroResult]) {
-    println!("\n=== {title} ===");
-    if results.is_empty() {
-        return;
-    }
-    print!("{:>10}", "benchmark");
-    for (ni, _, _) in &results[0].rows {
-        print!("{:>12}", ni.to_string());
-    }
-    println!("   (speedup over NI2w on the memory bus)");
-    for r in results {
-        print!("{:>10}", r.workload.to_string());
-        for (_, _, speedup) in &r.rows {
-            print!("{speedup:>12.2}");
-        }
-        println!();
-    }
-}
-
-/// Hand-rolled JSON for one panel (the workspace deliberately carries no
-/// serialization dependency; the format is flat enough to emit directly).
-fn panel_json(title: &str, results: &[MacroResult]) -> String {
-    let results_json: Vec<String> = results
-        .iter()
-        .map(|r| {
-            let rows: Vec<String> = r
-                .rows
-                .iter()
-                .map(|(ni, cycles, speedup)| {
-                    format!(r#"{{"ni":"{ni}","cycles":{cycles},"speedup":{speedup:.6}}}"#)
-                })
-                .collect();
-            format!(
-                r#"{{"workload":"{}","rows":[{}]}}"#,
-                r.workload,
-                rows.join(",")
-            )
-        })
-        .collect();
-    format!(
-        r#"{{"title":"{title}","results":[{}]}}"#,
-        results_json.join(",")
-    )
-}
-
-fn usage_error(message: &str) -> ! {
-    eprintln!("{message}");
-    eprintln!("usage: fig8 [quick|scaled|paper] [--json] [--backend heap|wheel]");
-    std::process::exit(2);
-}
+const USAGE: &str = "fig8 [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR] \
+                     [--json] [--workload NAME]... [--backend heap|wheel]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut json = false;
-    let mut backend = QueueBackend::default();
-    let mut mode: Option<String> = None;
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--backend" => {
-                backend = match it.next().as_deref() {
-                    Some("heap") => QueueBackend::BinaryHeap,
-                    Some("wheel") => QueueBackend::TimingWheel,
-                    other => {
-                        usage_error(&format!("--backend takes 'heap' or 'wheel', got {other:?}"))
-                    }
-                };
-            }
-            "quick" | "scaled" | "paper" if mode.is_none() => mode = Some(arg),
-            other => usage_error(&format!("unrecognized argument {other:?}")),
+    let cli = CampaignCli::parse(USAGE);
+    cli.reject_rest(USAGE);
+    let workloads = cli.workloads_or_all();
+    let campaign = fig8_campaign(cli.tier, &workloads);
+    let mut opts = cli.run_options();
+    if cli.json {
+        // The trajectory JSON's wall_seconds must measure real simulation.
+        if let CacheMode::ReadWrite(dir) = opts.cache {
+            opts.cache = CacheMode::WriteOnly(dir);
         }
     }
-    let mode = mode.as_deref().unwrap_or("scaled");
-    let (params, nodes) = match mode {
-        "quick" => (WorkloadParams::tiny(), 8),
-        "paper" => (WorkloadParams::paper(), 16),
-        "scaled" => (WorkloadParams::scaled(), 16),
-        _ => unreachable!("mode validated above"),
-    };
-    let workloads = Workload::ALL;
-
-    let started = Instant::now();
-    // All three panels normalise to the same deterministic NI2w-on-memory-bus
-    // runs; compute them once.
-    let baselines = fig8_baselines(nodes, &params, &workloads, backend);
-    let mem = fig8_speedups_with_baselines(
-        DeviceLocation::MemoryBus,
-        nodes,
-        &params,
-        &workloads,
-        backend,
-        &baselines,
-    );
-    let io = fig8_speedups_with_baselines(
-        DeviceLocation::IoBus,
-        nodes,
-        &params,
-        &workloads,
-        backend,
-        &baselines,
-    );
-    let alt = fig8_alternate_buses_with_baselines(nodes, &params, &workloads, backend, &baselines);
-    let wall_seconds = started.elapsed().as_secs_f64();
-
-    if json {
-        let panels = [
-            panel_json(location_name(DeviceLocation::MemoryBus), &mem),
-            panel_json(location_name(DeviceLocation::IoBus), &io),
-            panel_json("alternate buses", &alt),
-        ];
+    let run = run_campaign(&campaign, &opts);
+    let backend = cli.backend.unwrap_or_default();
+    if cli.json {
         println!(
-            r#"{{"experiment":"fig8","mode":"{mode}","nodes":{nodes},"queue_backend":"{backend}","wall_seconds":{wall_seconds:.3},"panels":[{}]}}"#,
-            panels.join(",")
+            "{}",
+            fig8_trajectory_json(&run.campaigns[0], backend, run.wall_seconds)
         );
         return;
     }
-
-    println!("Figure 8: macrobenchmark speedups ({nodes} nodes, {backend} event queue)");
-    print_panel(
-        &format!("(a) {}", location_name(DeviceLocation::MemoryBus)),
-        &mem,
-    );
-    print_panel(
-        &format!("(b) {}", location_name(DeviceLocation::IoBus)),
-        &io,
-    );
-    print_panel(
-        "(c) alternate buses (NI2w/cache, CNI16Qm/memory, CNI512Q/I/O)",
-        &alt,
-    );
-
-    // Paper-style summary lines (§5.2): best CNI improvement ranges.
-    let best_range = |results: &[MacroResult], ni: cni_nic::taxonomy::NiKind| {
-        let mut lo = f64::MAX;
-        let mut hi = f64::MIN;
-        for r in results {
-            if let Some(s) = r.speedup_of(ni) {
-                lo = lo.min((s - 1.0) * 100.0);
-                hi = hi.max((s - 1.0) * 100.0);
-            }
-        }
-        (lo, hi)
-    };
-    let (lo, hi) = best_range(&mem, cni_nic::taxonomy::NiKind::Cni16Qm);
-    println!(
-        "\nCNI16Qm improvement over NI2w on the memory bus: {lo:.0}%..{hi:.0}% (paper: 17-53%)"
-    );
-    let (lo, hi) = best_range(&io, cni_nic::taxonomy::NiKind::Cni512Q);
-    println!("CNI512Q improvement over NI2w-on-memory-bus when both sit on the I/O bus: {lo:.0}%..{hi:.0}%");
-    println!("\nharness wall time: {wall_seconds:.2}s");
+    println!("## {}\n", run.campaigns[0].title);
+    print!("{}", render_markdown(&run.campaigns[0]));
+    println!("\n{}", CampaignCli::summary_line(&run));
 }

@@ -1,71 +1,33 @@
 //! Regenerates the §5.2 memory-bus occupancy comparison: CQ-based CNIs cut
-//! memory-bus occupancy by up to ~66 % (averaged over the macrobenchmarks)
-//! relative to `NI2w`, while `CNI4` — which still polls across the bus —
-//! saves only ~23 %.
+//! memory-bus occupancy by up to ~66 % relative to `NI2w`, while `CNI4` —
+//! which still polls across the bus — saves only ~23 %. A thin front-end
+//! over [`cni_bench::campaign::figures::occupancy_campaign`]; its cells are
+//! the same runs as Figure 8's memory-bus panel, so after a `fig8` or
+//! `report` run this binary is pure cache hits.
 //!
-//! Run with `cargo run --release -p cni-bench --bin occupancy [quick]`.
+//! Run with `cargo run --release -p cni-bench --bin occupancy --
+//! [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR]
+//! [--json] [--workload NAME]...`.
 
-use std::collections::BTreeMap;
+use cni_bench::campaign::figures::{occupancy_campaign, render_markdown};
+use cni_bench::campaign::{run_campaign, set_json};
+use cni_bench::cli::CampaignCli;
 
-use cni_bench::occupancy_table;
-use cni_mem::timing::TimingConfig;
-use cni_nic::taxonomy::NiKind;
-use cni_workloads::{Workload, WorkloadParams};
+const USAGE: &str = "occupancy [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] \
+                     [--cache DIR] [--json] [--workload NAME]... \
+                     [--backend heap|wheel (implies --cold)]";
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
-    let (params, nodes) = if quick {
-        (WorkloadParams::tiny(), 8)
-    } else {
-        (WorkloadParams::scaled(), 16)
-    };
-
-    println!("Table 2 cost model in use (processor cycles):");
-    let t = TimingConfig::isca96();
-    println!(
-        "  uncached 8-byte load   mem {:>3}  I/O {:>3}",
-        t.uncached_load_memory_bus, t.uncached_load_io_bus
-    );
-    println!(
-        "  uncached 8-byte store  mem {:>3}  I/O {:>3}",
-        t.uncached_store_memory_bus, t.uncached_store_io_bus
-    );
-    println!(
-        "  64-byte CNI->CPU       mem {:>3}  I/O {:>3}",
-        t.c2c_from_device_memory_bus, t.c2c_from_device_io_bus
-    );
-    println!(
-        "  64-byte CPU->CNI       mem {:>3}  I/O {:>3}",
-        t.c2c_to_device_memory_bus, t.c2c_to_device_io_bus
-    );
-    println!("  64-byte memory<->cache mem {:>3}", t.memory_transfer);
-
-    println!("\nMemory-bus occupancy on the memory bus ({nodes} nodes):");
-    let rows = occupancy_table(nodes, &params, &Workload::ALL);
-
-    println!(
-        "{:>10} {:>10} {:>16} {:>14} {:>14}",
-        "benchmark", "NI", "busy cycles", "run cycles", "vs NI2w"
-    );
-    let mut reductions: BTreeMap<NiKind, Vec<f64>> = BTreeMap::new();
-    for row in &rows {
-        println!(
-            "{:>10} {:>10} {:>16} {:>14} {:>13.0}%",
-            row.workload.to_string(),
-            row.ni.to_string(),
-            row.busy_cycles,
-            row.total_cycles,
-            row.reduction_vs_ni2w * 100.0
-        );
-        reductions
-            .entry(row.ni)
-            .or_default()
-            .push(row.reduction_vs_ni2w);
+    let cli = CampaignCli::parse(USAGE);
+    cli.reject_rest(USAGE);
+    let workloads = cli.workloads_or_all();
+    let campaign = occupancy_campaign(cli.tier, &workloads);
+    let run = run_campaign(&campaign, &cli.run_options());
+    if cli.json {
+        println!("{}", set_json(&run, "occupancy", ""));
+        return;
     }
-
-    println!("\nAverage occupancy reduction vs NI2w (paper: ~23% for CNI4, up to ~66% for CQ-based CNIs):");
-    for (ni, values) in reductions {
-        let avg = values.iter().sum::<f64>() / values.len() as f64;
-        println!("  {:>10}: {:>5.0}%", ni.to_string(), avg * 100.0);
-    }
+    println!("## {}\n", run.campaigns[0].title);
+    print!("{}", render_markdown(&run.campaigns[0]));
+    println!("\n{}", CampaignCli::summary_line(&run));
 }

@@ -194,10 +194,10 @@ fn run_ci() {
     println!("scaling-digest em3d 64n {:016x}", base.digest);
 }
 
+const USAGE: &str = "scaling [quick|big] [--json] [--ci]";
+
 fn usage_error(message: &str) -> ! {
-    eprintln!("{message}");
-    eprintln!("usage: scaling [quick|big] [--json] [--ci]");
-    std::process::exit(2);
+    cni_bench::cli::usage_error(USAGE, message);
 }
 
 fn main() {

@@ -1,42 +1,36 @@
-//! Prints Table 1 (the NI taxonomy) and the qualitative Table 4 comparison
-//! notes.
+//! Prints Table 1 (the NI taxonomy, §3) and the qualitative Table 4
+//! comparison notes — a thin front-end over
+//! [`cni_bench::campaign::figures::taxonomy_campaign`]. The single cell is
+//! pure data, so this binary never simulates anything, and flags that only
+//! affect simulations (`--workload`, `--backend`) are rejected rather than
+//! silently ignored.
 //!
-//! Run with `cargo run --release -p cni-bench --bin taxonomy`.
+//! Run with `cargo run --release -p cni-bench --bin taxonomy -- [--json]`.
 
-use cni_bench::taxonomy_table;
-use cni_nic::taxonomy::{QueueHome, QueuePointers};
+use cni_bench::campaign::figures::{render_markdown, taxonomy_campaign};
+use cni_bench::campaign::{run_campaign, set_json};
+use cni_bench::cli::{usage_error, CampaignCli};
+
+const USAGE: &str = "taxonomy [--json] [--no-cache] [--cache DIR]";
 
 fn main() {
-    println!("Table 1: summary of network interface devices");
-    println!(
-        "{:>10} {:>22} {:>12} {:>14}",
-        "NI/CNI", "exposed queue size", "pointers", "home"
-    );
-    for spec in taxonomy_table() {
-        let exposed = match (spec.exposed_words, spec.exposed_blocks) {
-            (Some(w), _) => format!("{w} words"),
-            (_, Some(b)) => format!("{b} cache blocks"),
-            _ => "-".to_owned(),
-        };
-        let pointers = match spec.pointers {
-            QueuePointers::Implicit => "-",
-            QueuePointers::Explicit => "explicit",
-        };
-        let home = match spec.home {
-            QueueHome::Device => "device",
-            QueueHome::MainMemory => "main memory",
-        };
-        println!(
-            "{:>10} {:>22} {:>12} {:>14}",
-            spec.label, exposed, pointers, home
+    let cli = CampaignCli::parse(USAGE);
+    cli.reject_rest(USAGE);
+    if !cli.workloads.is_empty() {
+        usage_error(USAGE, "taxonomy is pure data; it takes no --workload");
+    }
+    if cli.backend.is_some() {
+        usage_error(
+            USAGE,
+            "taxonomy runs no simulation; --backend would time nothing",
         );
     }
-
-    println!("\nTable 4 (qualitative): CNI vs other network interfaces");
-    println!("  CNI: coherent = yes, caching = yes, uniform interface = memory interface");
-    println!("  TMC CM-5, Alewife, FUGU: uncached NIs, no caching, no uniform interface");
-    println!("  Typhoon / FLASH / Meiko CS2: coherence possible, caching possible/no");
-    println!("  StarT-NG: L2-coprocessor NI, cachable but not coherent (explicit flush)");
-    println!("  SHRIMP: coherent via write-through; AP1000: sender-side cache DMA only");
-    println!("  DI multicomputer: uniform *network* interface rather than memory interface");
+    let campaign = taxonomy_campaign(cli.tier);
+    let run = run_campaign(&campaign, &cli.run_options());
+    if cli.json {
+        println!("{}", set_json(&run, "taxonomy", ""));
+        return;
+    }
+    println!("## {}\n", run.campaigns[0].title);
+    print!("{}", render_markdown(&run.campaigns[0]));
 }

@@ -1,0 +1,799 @@
+//! The paper's figures and tables as campaign definitions, plus the
+//! markdown renderers that turn campaign results back into
+//! paper-figure-shaped tables (what `RESULTS.md` and the thin harness
+//! binaries print).
+//!
+//! | paper result | campaign | renderer |
+//! |---|---|---|
+//! | Figure 6 (round-trip latency, §5.1.1) | [`fig6_campaign`] | [`render_markdown`] |
+//! | Figure 7 (bandwidth, §5.1.2)          | [`fig7_campaign`] | [`render_markdown`] |
+//! | Figure 8 (macro speedups, §5.2)       | [`fig8_campaign`] | [`render_markdown`] |
+//! | §5.2 bus-occupancy reduction          | [`occupancy_campaign`] | [`render_markdown`] |
+//! | §2.2 CQ-optimisation ablation         | [`ablation_campaign`] | [`render_markdown`] |
+//! | Table 1 (taxonomy, §3)                | [`taxonomy_campaign`] | [`render_markdown`] |
+//!
+//! Definitions and renderers share the layout functions in this module, so
+//! a campaign's cell order and its table shape can never drift apart. The
+//! renderers read only deterministic simulated numbers — never wall-clock,
+//! cache state or host properties — which is what lets CI regenerate
+//! `RESULTS.md` on any machine and diff it byte-for-byte.
+
+use std::collections::HashMap;
+
+use cni_core::micro::local_queue_max_bandwidth_mbps;
+use cni_mem::system::DeviceLocation;
+use cni_mem::timing::TimingConfig;
+use cni_nic::cq_model::CqOptimizations;
+use cni_nic::taxonomy::NiKind;
+use cni_workloads::{ParamsTier, Workload};
+
+use super::{Campaign, CampaignRun, CampaignSetRun, ExperimentSpec};
+use crate::json::Json;
+use crate::{location_name, ni_set_for, FIG6_SIZES, FIG7_SIZES};
+
+/// The alternate-buses comparison of Figures 6c/7c/8c: `NI2w` on the cache
+/// bus, `CNI16Qm` on the memory bus, `CNI512Q` on the I/O bus.
+pub const ALTERNATE_BUSES: [(NiKind, DeviceLocation); 3] = [
+    (NiKind::Ni2w, DeviceLocation::CacheBus),
+    (NiKind::Cni16Qm, DeviceLocation::MemoryBus),
+    (NiKind::Cni512Q, DeviceLocation::IoBus),
+];
+
+/// One series of a microbenchmark panel (one NI on one bus, optionally with
+/// snarfing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SeriesDef {
+    ni: NiKind,
+    location: DeviceLocation,
+    snarfing: bool,
+}
+
+impl SeriesDef {
+    fn label(&self) -> String {
+        let base = format!("{} ({})", self.ni, location_name(self.location));
+        if self.snarfing {
+            format!("{base} + snarf")
+        } else {
+            base
+        }
+    }
+}
+
+/// One microbenchmark panel: a title and its series.
+struct MicroPanel {
+    title: &'static str,
+    series: Vec<SeriesDef>,
+}
+
+fn plain(ni: NiKind, location: DeviceLocation) -> SeriesDef {
+    SeriesDef {
+        ni,
+        location,
+        snarfing: false,
+    }
+}
+
+fn micro_panels(with_snarf: bool) -> Vec<MicroPanel> {
+    let mut mem: Vec<SeriesDef> = ni_set_for(DeviceLocation::MemoryBus)
+        .into_iter()
+        .map(|ni| plain(ni, DeviceLocation::MemoryBus))
+        .collect();
+    if with_snarf {
+        mem.push(SeriesDef {
+            ni: NiKind::Cni16Qm,
+            location: DeviceLocation::MemoryBus,
+            snarfing: true,
+        });
+    }
+    vec![
+        MicroPanel {
+            title: "(a) memory bus",
+            series: mem,
+        },
+        MicroPanel {
+            title: "(b) I/O bus",
+            series: ni_set_for(DeviceLocation::IoBus)
+                .into_iter()
+                .map(|ni| plain(ni, DeviceLocation::IoBus))
+                .collect(),
+        },
+        MicroPanel {
+            title: "(c) alternate buses",
+            series: ALTERNATE_BUSES
+                .into_iter()
+                .map(|(ni, loc)| plain(ni, loc))
+                .collect(),
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------------
+
+fn fig6_layout(tier: ParamsTier) -> (Vec<usize>, usize, Vec<MicroPanel>) {
+    let (sizes, iterations) = match tier {
+        ParamsTier::Quick => (vec![8, 64, 256], 6),
+        ParamsTier::Scaled | ParamsTier::Paper => (FIG6_SIZES.to_vec(), 24),
+    };
+    (sizes, iterations, micro_panels(false))
+}
+
+/// Figure 6 (§5.1.1): process-to-process round-trip latency versus message
+/// size, for every NI on the memory bus (a), the I/O bus (b) and the
+/// alternate-buses comparison (c). One cell per (series, size) point.
+pub fn fig6_campaign(tier: ParamsTier) -> Campaign {
+    let (sizes, iterations, panels) = fig6_layout(tier);
+    let mut cells = Vec::new();
+    for panel in &panels {
+        for series in &panel.series {
+            for &message_bytes in &sizes {
+                cells.push(ExperimentSpec::Latency {
+                    ni: series.ni,
+                    location: series.location,
+                    message_bytes,
+                    iterations,
+                });
+            }
+        }
+    }
+    Campaign {
+        name: "fig6",
+        title: "Figure 6 — round-trip message latency (µs)".to_owned(),
+        tier,
+        workloads: vec![],
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------------
+
+fn fig7_layout(tier: ParamsTier) -> (Vec<usize>, usize, Vec<MicroPanel>) {
+    let (sizes, messages) = match tier {
+        ParamsTier::Quick => (vec![64, 512, 4096], 24),
+        ParamsTier::Scaled | ParamsTier::Paper => (FIG7_SIZES.to_vec(), 96),
+    };
+    (sizes, messages, micro_panels(true))
+}
+
+/// Figure 7 (§5.1.2): process-to-process bandwidth versus message size,
+/// relative to the two-processor local-queue maximum, including the
+/// `CNI16Qm + snarf` series of panel (a). One cell per (series, size).
+pub fn fig7_campaign(tier: ParamsTier) -> Campaign {
+    let (sizes, messages, panels) = fig7_layout(tier);
+    let mut cells = Vec::new();
+    for panel in &panels {
+        for series in &panel.series {
+            for &message_bytes in &sizes {
+                cells.push(ExperimentSpec::Bandwidth {
+                    ni: series.ni,
+                    location: series.location,
+                    snarfing: series.snarfing,
+                    message_bytes,
+                    messages,
+                });
+            }
+        }
+    }
+    Campaign {
+        name: "fig7",
+        title: "Figure 7 — relative process-to-process bandwidth".to_owned(),
+        tier,
+        workloads: vec![],
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------------
+
+struct MacroPanel {
+    title: &'static str,
+    columns: Vec<(NiKind, DeviceLocation)>,
+}
+
+fn fig8_panels() -> Vec<MacroPanel> {
+    vec![
+        MacroPanel {
+            title: "(a) memory bus",
+            columns: ni_set_for(DeviceLocation::MemoryBus)
+                .into_iter()
+                .map(|ni| (ni, DeviceLocation::MemoryBus))
+                .collect(),
+        },
+        MacroPanel {
+            title: "(b) I/O bus",
+            columns: ni_set_for(DeviceLocation::IoBus)
+                .into_iter()
+                .map(|ni| (ni, DeviceLocation::IoBus))
+                .collect(),
+        },
+        MacroPanel {
+            title: "(c) alternate buses",
+            columns: ALTERNATE_BUSES.to_vec(),
+        },
+    ]
+}
+
+/// The Figure 8 normalisation baseline for one workload at one tier:
+/// `NI2w` on the memory bus.
+fn fig8_baseline_spec(workload: Workload, tier: ParamsTier) -> ExperimentSpec {
+    ExperimentSpec::Macro {
+        workload,
+        ni: NiKind::Ni2w,
+        location: DeviceLocation::MemoryBus,
+        nodes: tier.nodes(),
+        tier,
+    }
+}
+
+/// Figure 8 (§5.2): macrobenchmark speedups over `NI2w` on the memory bus,
+/// for every NI on the memory bus (a), the I/O bus (b) and the
+/// alternate-buses comparison (c). One cell per (panel, workload, NI) run;
+/// the engine deduplicates the runs panels share (the baseline appears in
+/// every panel's normalisation, and panel (c) overlaps panel (a)).
+pub fn fig8_campaign(tier: ParamsTier, workloads: &[Workload]) -> Campaign {
+    let nodes = tier.nodes();
+    let mut cells = Vec::new();
+    for panel in fig8_panels() {
+        for &workload in workloads {
+            for &(ni, location) in &panel.columns {
+                cells.push(ExperimentSpec::Macro {
+                    workload,
+                    ni,
+                    location,
+                    nodes,
+                    tier,
+                });
+            }
+        }
+    }
+    // The baseline is already a panel (a) column, but keep the campaign
+    // self-contained even if a caller filters the NI set someday.
+    for &workload in workloads {
+        cells.push(fig8_baseline_spec(workload, tier));
+    }
+    Campaign {
+        name: "fig8",
+        title: "Figure 8 — macrobenchmark speedups over NI2w on the memory bus".to_owned(),
+        tier,
+        workloads: workloads.to_vec(),
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Occupancy, ablation, taxonomy
+// ---------------------------------------------------------------------------
+
+/// §5.2's memory-bus occupancy comparison: every workload under every NI on
+/// the memory bus. The cells are **the same runs** as Figure 8's panel (a)
+/// — the engine executes them once and both renderers read them.
+pub fn occupancy_campaign(tier: ParamsTier, workloads: &[Workload]) -> Campaign {
+    let nodes = tier.nodes();
+    let mut cells = Vec::new();
+    for &workload in workloads {
+        for ni in NiKind::ALL {
+            cells.push(ExperimentSpec::Macro {
+                workload,
+                ni,
+                location: DeviceLocation::MemoryBus,
+                nodes,
+                tier,
+            });
+        }
+    }
+    Campaign {
+        name: "occupancy",
+        title: "§5.2 — memory-bus occupancy reduction vs NI2w".to_owned(),
+        tier,
+        workloads: workloads.to_vec(),
+        cells,
+    }
+}
+
+/// The CQ ablation variants, in render order.
+fn ablation_variants() -> Vec<(&'static str, CqOptimizations)> {
+    let all = CqOptimizations::default();
+    let mut no_lazy = all;
+    no_lazy.lazy_pointers = false;
+    let mut no_valid = all;
+    no_valid.valid_bits = false;
+    let mut no_sense = all;
+    no_sense.sense_reverse = false;
+    vec![
+        ("all optimisations", all),
+        ("no lazy pointers", no_lazy),
+        ("no valid bits", no_valid),
+        ("no sense reverse", no_sense),
+        ("none", CqOptimizations::none()),
+    ]
+}
+
+/// §2.2's cachable-queue optimisation ablation: lazy pointers, valid bits
+/// and sense reverse disabled in turn on `CNI512Q` (memory bus), measured on
+/// the 64-byte round trip and the 2 KB stream. One cell per variant.
+pub fn ablation_campaign(tier: ParamsTier) -> Campaign {
+    let (iterations, messages) = match tier {
+        ParamsTier::Quick => (8, 32),
+        ParamsTier::Scaled | ParamsTier::Paper => (24, 96),
+    };
+    Campaign {
+        name: "ablation",
+        title: "§2.2 — cachable-queue optimisation ablation (CNI512Q, memory bus)".to_owned(),
+        tier,
+        workloads: vec![],
+        cells: ablation_variants()
+            .into_iter()
+            .map(|(_, opts)| ExperimentSpec::Ablation {
+                opts,
+                iterations,
+                messages,
+            })
+            .collect(),
+    }
+}
+
+/// Table 1 (§3): the NI taxonomy, plus the qualitative Table 4 comparison
+/// notes. A single pure cell.
+pub fn taxonomy_campaign(tier: ParamsTier) -> Campaign {
+    Campaign {
+        name: "taxonomy",
+        title: "Table 1 — summary of network interface devices".to_owned(),
+        tier,
+        workloads: vec![],
+        cells: vec![ExperimentSpec::Taxonomy],
+    }
+}
+
+/// Every campaign `report` runs, in `RESULTS.md` order.
+pub fn report_campaigns(tier: ParamsTier, workloads: &[Workload]) -> Vec<Campaign> {
+    vec![
+        fig6_campaign(tier),
+        fig7_campaign(tier),
+        fig8_campaign(tier, workloads),
+        occupancy_campaign(tier, workloads),
+        ablation_campaign(tier),
+        taxonomy_campaign(tier),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Markdown rendering
+// ---------------------------------------------------------------------------
+
+fn parsed_cells(run: &CampaignRun) -> Vec<Json> {
+    run.cells
+        .iter()
+        .map(|cell| {
+            Json::parse(&cell.json).unwrap_or_else(|err| {
+                panic!("cell {} produced invalid JSON: {err}", cell.spec.label())
+            })
+        })
+        .collect()
+}
+
+fn md_table(out: &mut String, header: &[String], rows: &[Vec<String>]) {
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        header.iter().map(|_| "---:|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+}
+
+/// Renders a microbenchmark campaign (fig6/fig7): one table per panel,
+/// sizes down, series across.
+fn render_micro(
+    run: &CampaignRun,
+    sizes: &[usize],
+    panels: &[MicroPanel],
+    value_key: &str,
+    precision: usize,
+) -> String {
+    let cells = parsed_cells(run);
+    let mut out = String::new();
+    let mut index = 0;
+    for panel in panels {
+        out.push_str(&format!("\n### {}\n\n", panel.title));
+        let mut header = vec!["bytes".to_owned()];
+        header.extend(panel.series.iter().map(SeriesDef::label));
+        // Cells are laid out series-major; the table wants size-major rows.
+        let mut columns: Vec<Vec<f64>> = Vec::new();
+        for _ in &panel.series {
+            columns.push(
+                (0..sizes.len())
+                    .map(|_| {
+                        let v = cells[index].num(value_key);
+                        index += 1;
+                        v
+                    })
+                    .collect(),
+            );
+        }
+        let rows: Vec<Vec<String>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(row, &size)| {
+                let mut cols = vec![size.to_string()];
+                cols.extend(columns.iter().map(|c| format!("{:.precision$}", c[row])));
+                cols
+            })
+            .collect();
+        md_table(&mut out, &header, &rows);
+    }
+    out
+}
+
+fn render_fig6(run: &CampaignRun) -> String {
+    let (sizes, iterations, panels) = fig6_layout(run.tier);
+    let mut out = format!(
+        "Process-to-process round-trip latency in microseconds (§5.1.1), {iterations} \
+         iterations per point.\n"
+    );
+    out.push_str(&render_micro(run, &sizes, &panels, "round_trip_micros", 2));
+    out
+}
+
+fn render_fig7(run: &CampaignRun) -> String {
+    let (sizes, messages, panels) = fig7_layout(run.tier);
+    let mut out = format!(
+        "Bandwidth relative to the two-processor local cachable queue maximum of \
+         {:.1} MB/s (§5.1.2), {messages} messages per point.\n",
+        local_queue_max_bandwidth_mbps(&TimingConfig::isca96())
+    );
+    out.push_str(&render_micro(run, &sizes, &panels, "relative", 3));
+    out
+}
+
+fn render_fig8(run: &CampaignRun) -> String {
+    let cells = parsed_cells(run);
+    let by_digest: HashMap<u64, &Json> = run
+        .cells
+        .iter()
+        .zip(&cells)
+        .map(|(cell, json)| (cell.digest, json))
+        .collect();
+    let baseline_cycles = |workload: Workload| -> f64 {
+        by_digest[&fig8_baseline_spec(workload, run.tier).digest()].num("cycles")
+    };
+    let mut out = format!(
+        "Execution-time speedup over `NI2w` on the memory bus (§5.2), {} nodes, \
+         `{}` inputs.\n",
+        run.tier.nodes(),
+        run.tier
+    );
+    let mut index = 0;
+    // Track the improvement ranges the paper quotes in §5.2.
+    let mut qm_range = (f64::MAX, f64::MIN);
+    let mut io512_range = (f64::MAX, f64::MIN);
+    for panel in fig8_panels() {
+        out.push_str(&format!("\n### {}\n\n", panel.title));
+        let mut header = vec!["benchmark".to_owned()];
+        header.extend(panel.columns.iter().map(|&(ni, loc)| {
+            if panel.title.contains("alternate") {
+                format!("{ni} ({})", location_name(loc))
+            } else {
+                ni.to_string()
+            }
+        }));
+        let mut rows = Vec::new();
+        for &workload in &run.workloads {
+            let mut cols = vec![workload.to_string()];
+            for &(ni, location) in &panel.columns {
+                let cycles = cells[index].num("cycles");
+                index += 1;
+                let speedup = baseline_cycles(workload) / cycles;
+                let gain = (speedup - 1.0) * 100.0;
+                if ni == NiKind::Cni16Qm && location == DeviceLocation::MemoryBus {
+                    qm_range = (qm_range.0.min(gain), qm_range.1.max(gain));
+                }
+                if ni == NiKind::Cni512Q && location == DeviceLocation::IoBus {
+                    io512_range = (io512_range.0.min(gain), io512_range.1.max(gain));
+                }
+                cols.push(format!("{speedup:.2}"));
+            }
+            rows.push(cols);
+        }
+        md_table(&mut out, &header, &rows);
+    }
+    if !run.workloads.is_empty() {
+        out.push_str(&format!(
+            "\nCNI16Qm improvement over NI2w on the memory bus: {:.0}%..{:.0}% \
+             (paper: 17–53%). CNI512Q on the I/O bus vs NI2w on the memory bus: \
+             {:.0}%..{:.0}%.\n",
+            qm_range.0, qm_range.1, io512_range.0, io512_range.1
+        ));
+    }
+    out
+}
+
+fn render_occupancy(run: &CampaignRun) -> String {
+    let cells = parsed_cells(run);
+    let mut out = format!(
+        "Memory-bus busy cycles per unit time under each NI, and the reduction \
+         relative to `NI2w` (§5.2; the paper reports ~23% for CNI4 and up to ~66% \
+         for the CQ-based CNIs), {} nodes, `{}` inputs.\n\n",
+        run.tier.nodes(),
+        run.tier
+    );
+    let header: Vec<String> = ["benchmark", "NI", "busy cycles", "run cycles", "vs NI2w"]
+        .map(str::to_owned)
+        .to_vec();
+    let mut rows = Vec::new();
+    let mut reductions: Vec<(NiKind, Vec<f64>)> =
+        NiKind::ALL.into_iter().map(|ni| (ni, Vec::new())).collect();
+    let mut index = 0;
+    for &workload in &run.workloads {
+        let mut baseline_rate = None;
+        for (slot, ni) in NiKind::ALL.into_iter().enumerate() {
+            let cell = &cells[index];
+            index += 1;
+            let busy = cell.num("memory_bus_busy");
+            let total = cell.num("cycles").max(1.0);
+            let rate = busy / total;
+            let baseline = *baseline_rate.get_or_insert(rate);
+            let reduction = 1.0 - rate / baseline;
+            reductions[slot].1.push(reduction);
+            rows.push(vec![
+                workload.to_string(),
+                ni.to_string(),
+                format!("{busy:.0}"),
+                format!("{total:.0}"),
+                format!("{:.0}%", reduction * 100.0),
+            ]);
+        }
+    }
+    md_table(&mut out, &header, &rows);
+    out.push_str("\nAverage occupancy reduction vs NI2w:\n\n");
+    let avg_rows: Vec<Vec<String>> = reductions
+        .iter()
+        .filter(|(_, values)| !values.is_empty())
+        .map(|(ni, values)| {
+            let avg = values.iter().sum::<f64>() / values.len() as f64;
+            vec![ni.to_string(), format!("{:.0}%", avg * 100.0)]
+        })
+        .collect();
+    md_table(
+        &mut out,
+        &["NI".to_owned(), "average reduction".to_owned()],
+        &avg_rows,
+    );
+    out
+}
+
+fn render_ablation(run: &CampaignRun) -> String {
+    let cells = parsed_cells(run);
+    let mut out = "Each §2.2 optimisation disabled in turn; latency of the 64-byte \
+         round trip and relative bandwidth of the 2 KB stream.\n\n"
+        .to_owned();
+    let header: Vec<String> = ["variant", "64B round trip (µs)", "2KB stream (rel bw)"]
+        .map(str::to_owned)
+        .to_vec();
+    let rows: Vec<Vec<String>> = ablation_variants()
+        .iter()
+        .zip(&cells)
+        .map(|((name, _), cell)| {
+            vec![
+                (*name).to_owned(),
+                format!("{:.2}", cell.num("round_trip_micros")),
+                format!("{:.3}", cell.num("relative_bandwidth")),
+            ]
+        })
+        .collect();
+    md_table(&mut out, &header, &rows);
+    out.push_str(
+        "\nExpected shape: disabling lazy pointers or sense reverse costs latency \
+         and/or bandwidth; valid bits matter most for empty-poll cost (§2.2), which \
+         these two metrics only partially expose.\n",
+    );
+    out
+}
+
+fn render_taxonomy(run: &CampaignRun) -> String {
+    let cells = parsed_cells(run);
+    let rows_json = cells[0].get("rows").and_then(Json::as_array).unwrap_or(&[]);
+    let mut out = String::new();
+    let header: Vec<String> = ["NI/CNI", "exposed queue size", "pointers", "home"]
+        .map(str::to_owned)
+        .to_vec();
+    let rows: Vec<Vec<String>> = rows_json
+        .iter()
+        .map(|row| {
+            let exposed = if let Some(words) = row.get("exposed_words").and_then(Json::as_u64) {
+                format!("{words} words")
+            } else if let Some(blocks) = row.get("exposed_blocks").and_then(Json::as_u64) {
+                format!("{blocks} cache blocks")
+            } else {
+                "-".to_owned()
+            };
+            let pointers = match row.get("pointers").and_then(Json::as_str) {
+                Some("explicit") => "explicit",
+                _ => "-",
+            };
+            vec![
+                row.get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned(),
+                exposed,
+                pointers.to_owned(),
+                row.get("home")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned(),
+            ]
+        })
+        .collect();
+    md_table(&mut out, &header, &rows);
+    out.push_str(
+        "\nTable 4 (qualitative): CNIs are coherent, cache their queues and reuse the \
+         memory interface. TMC CM-5 / Alewife / FUGU use uncached NIs; Typhoon, FLASH \
+         and Meiko CS2 allow coherence; StarT-NG's L2-coprocessor NI is cachable but \
+         not coherent (explicit flush); SHRIMP is coherent via write-through; AP1000 \
+         does sender-side cache DMA only; the DI multicomputer standardises the \
+         *network* interface rather than the memory interface.\n",
+    );
+    out
+}
+
+/// Renders a Figure 8 campaign run in the legacy `fig8 --json` trajectory
+/// shape — the format of `BENCH_seed.json`, the repo's simulator-performance
+/// trajectory file: per-panel `(ni, cycles, speedup)` rows plus the
+/// harness's wall-clock.
+pub fn fig8_trajectory_json(
+    run: &CampaignRun,
+    backend: cni_sim::event::QueueBackend,
+    wall_seconds: f64,
+) -> String {
+    let cells = parsed_cells(run);
+    let by_digest: HashMap<u64, &Json> = run
+        .cells
+        .iter()
+        .zip(&cells)
+        .map(|(cell, json)| (cell.digest, json))
+        .collect();
+    let mut index = 0;
+    let panel_titles = ["memory bus", "I/O bus", "alternate buses"];
+    let panels: Vec<String> = fig8_panels()
+        .iter()
+        .zip(panel_titles)
+        .map(|(panel, title)| {
+            let results: Vec<String> = run
+                .workloads
+                .iter()
+                .map(|&workload| {
+                    let baseline =
+                        by_digest[&fig8_baseline_spec(workload, run.tier).digest()].num("cycles");
+                    let rows: Vec<String> = panel
+                        .columns
+                        .iter()
+                        .map(|&(ni, _)| {
+                            let cycles = cells[index].num("cycles");
+                            index += 1;
+                            format!(
+                                r#"{{"ni":"{ni}","cycles":{},"speedup":{:.6}}}"#,
+                                cycles as u64,
+                                baseline / cycles
+                            )
+                        })
+                        .collect();
+                    format!(r#"{{"workload":"{workload}","rows":[{}]}}"#, rows.join(","))
+                })
+                .collect();
+            format!(r#"{{"title":"{title}","results":[{}]}}"#, results.join(","))
+        })
+        .collect();
+    format!(
+        r#"{{"experiment":"fig8","mode":"{}","nodes":{},"queue_backend":"{backend}","wall_seconds":{wall_seconds:.3},"panels":[{}]}}"#,
+        run.tier,
+        run.tier.nodes(),
+        panels.join(",")
+    )
+}
+
+/// Renders one campaign's results as a markdown section body (no heading).
+///
+/// # Panics
+///
+/// Panics on an unknown campaign name or a result-shape mismatch — both are
+/// bugs in this crate, not user error.
+pub fn render_markdown(run: &CampaignRun) -> String {
+    match run.name {
+        "fig6" => render_fig6(run),
+        "fig7" => render_fig7(run),
+        "fig8" => render_fig8(run),
+        "occupancy" => render_occupancy(run),
+        "ablation" => render_ablation(run),
+        "taxonomy" => render_taxonomy(run),
+        other => panic!("no renderer for campaign {other:?}"),
+    }
+}
+
+/// Renders the complete generated `RESULTS.md` for a report run: a
+/// provenance header plus one section per campaign. Contains **only
+/// deterministic simulated numbers** — no wall-clock, no cache state — so
+/// the file is byte-identical on every host and CI can diff it.
+pub fn render_results_markdown(set: &CampaignSetRun) -> String {
+    let tier = set
+        .campaigns
+        .first()
+        .map_or(ParamsTier::Scaled, |run| run.tier);
+    let mut out = String::new();
+    out.push_str("# RESULTS — generated by the campaign runner\n\n");
+    out.push_str(
+        "<!-- GENERATED FILE — do not edit by hand.\n     \
+         Regenerate with: cargo run --release -p cni-bench --bin report -- --cold\n     \
+         (--cold re-executes every cell: the result cache is keyed by experiment\n     \
+         config, so after a simulator code change a warm run would faithfully\n     \
+         rewrite the stale numbers.)\n     \
+         CI regenerates this file and fails if the committed copy is stale. -->\n\n",
+    );
+    out.push_str(&format!(
+        "Every table below is regenerated from the campaign engine \
+         (`cni_bench::campaign`) at the `{tier}` input tier. Simulated results are \
+         deterministic and machine-independent — bit-identical across hosts, shard \
+         policies, executor worker counts and event-queue backends — so this file is \
+         reproducible byte-for-byte. See `ARCHITECTURE.md` for the pipeline and \
+         `README.md` for cache controls.\n"
+    ));
+    for run in &set.campaigns {
+        out.push_str(&format!("\n## {}\n\n", run.title));
+        out.push_str(&render_markdown(run));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaigns_have_the_expected_shapes() {
+        let fig6 = fig6_campaign(ParamsTier::Quick);
+        // 3 sizes × (5 mem + 4 io + 3 alternate) series.
+        assert_eq!(fig6.cells.len(), 3 * 12);
+        let fig7 = fig7_campaign(ParamsTier::Quick);
+        // 3 sizes × (6 mem incl. snarf + 4 io + 3 alternate) series.
+        assert_eq!(fig7.cells.len(), 3 * 13);
+        let fig8 = fig8_campaign(ParamsTier::Quick, &Workload::ALL);
+        // 5 workloads × (5 + 4 + 3) panel columns + 5 explicit baselines.
+        assert_eq!(fig8.cells.len(), 5 * 12 + 5);
+        let occupancy = occupancy_campaign(ParamsTier::Quick, &Workload::ALL);
+        assert_eq!(occupancy.cells.len(), 25);
+        assert_eq!(ablation_campaign(ParamsTier::Quick).cells.len(), 5);
+        assert_eq!(taxonomy_campaign(ParamsTier::Quick).cells.len(), 1);
+    }
+
+    #[test]
+    fn occupancy_cells_are_a_subset_of_fig8s() {
+        // The dedup story: every occupancy run is already a Figure 8 panel
+        // (a) run, so a report run executes them once.
+        let fig8 = fig8_campaign(ParamsTier::Scaled, &Workload::ALL);
+        let fig8_digests: std::collections::HashSet<u64> =
+            fig8.cells.iter().map(ExperimentSpec::digest).collect();
+        let occupancy = occupancy_campaign(ParamsTier::Scaled, &Workload::ALL);
+        for cell in &occupancy.cells {
+            assert!(
+                fig8_digests.contains(&cell.digest()),
+                "occupancy cell {} not shared with fig8",
+                cell.label()
+            );
+        }
+    }
+
+    #[test]
+    fn taxonomy_renders_without_running_a_simulation() {
+        let campaign = taxonomy_campaign(ParamsTier::Quick);
+        let run = super::super::run_campaign(&campaign, &super::super::RunOptions::default());
+        let md = render_markdown(&run.campaigns[0]);
+        assert!(md.contains("| NI/CNI |"), "{md}");
+        assert!(md.contains("CNI16Qm"), "{md}");
+        assert!(md.contains("main memory"), "{md}");
+    }
+}

@@ -1,0 +1,470 @@
+//! [`ExperimentSpec`]: the pure, digestable definition of one campaign cell.
+//!
+//! A spec captures **everything that determines a cell's simulated result**
+//! — workload, NI, bus, input tier, machine size, microbenchmark parameters
+//! — and nothing that doesn't. Simulator-performance knobs (event-queue
+//! backend, shard policy, worker threads) are deliberately *not* part of the
+//! spec: the repository's determinism invariant (see `tests/sharding.rs` and
+//! `tests/properties.rs`) is that they never change a simulated result, so
+//! two runs differing only in those knobs share one cache entry.
+//!
+//! [`ExperimentSpec::canonical`] renders the spec as a canonical JSON
+//! string; [`ExperimentSpec::digest`] hashes it (together with a schema
+//! fingerprint that covers the Table 2 cost model and the per-tier workload
+//! parameters, so editing the model invalidates stale cache entries
+//! automatically); [`ExperimentSpec::execute`] runs the cell and returns its
+//! result as a canonical JSON string — the exact bytes that are cached on
+//! disk and compared across executor modes.
+
+use cni_core::digest::{fnv64_of_str, Fnv64};
+use cni_core::machine::{MachineConfig, ShardPolicy};
+use cni_core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
+use cni_mem::system::DeviceLocation;
+use cni_mem::timing::TimingConfig;
+use cni_nic::cq_model::CqOptimizations;
+use cni_nic::taxonomy::{NiKind, QueueHome, QueuePointers};
+use cni_sim::event::QueueBackend;
+use cni_workloads::{ParamsTier, Workload};
+
+use crate::{report_digest, run_workload_report};
+
+/// Version tag of the spec encoding and the result encodings. Bump when a
+/// cell's canonical or result JSON changes shape, so stale cache entries
+/// can never be misread.
+const SPEC_SCHEMA: &str = "cni-campaign-v1";
+
+/// Simulator-performance knobs applied when executing a cell. None of these
+/// affect simulated results (the determinism tests prove it), so none of
+/// them participate in [`ExperimentSpec::digest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecKnobs {
+    /// Event-queue backend for every machine the cell builds.
+    pub backend: QueueBackend,
+    /// Shard policy for every machine the cell builds. The default is
+    /// [`ShardPolicy::Single`]: campaign cells already run concurrently with
+    /// each other, so per-cell sharding would oversubscribe the host.
+    pub shards: ShardPolicy,
+    /// Whether sharded machines advance on worker threads.
+    pub parallel: bool,
+}
+
+impl Default for ExecKnobs {
+    fn default() -> Self {
+        ExecKnobs {
+            backend: QueueBackend::default(),
+            shards: ShardPolicy::Single,
+            parallel: false,
+        }
+    }
+}
+
+/// The pure definition of one experiment cell. See the module docs for the
+/// digest/execute contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExperimentSpec {
+    /// One point of the Figure 6 round-trip latency sweep (§5.1.1): a
+    /// two-node machine, one message size.
+    Latency {
+        /// Network interface.
+        ni: NiKind,
+        /// Which bus the NI sits on.
+        location: DeviceLocation,
+        /// User message size in bytes.
+        message_bytes: usize,
+        /// Round trips measured.
+        iterations: usize,
+    },
+    /// One point of the Figure 7 streaming-bandwidth sweep (§5.1.2).
+    Bandwidth {
+        /// Network interface.
+        ni: NiKind,
+        /// Which bus the NI sits on.
+        location: DeviceLocation,
+        /// Whether the processor cache snarfs device writebacks (the
+        /// `CNI16Qm + snarf` series of Figure 7a).
+        snarfing: bool,
+        /// User message size in bytes.
+        message_bytes: usize,
+        /// Messages streamed.
+        messages: usize,
+    },
+    /// One macrobenchmark run (Figure 8 / §5.2): `workload` on an
+    /// `nodes`-node machine with `ni` on `location`, at input tier `tier`.
+    /// The result carries cycles *and* bus-occupancy counters, so the same
+    /// cell serves both the speedup and the occupancy panels.
+    Macro {
+        /// The benchmark.
+        workload: Workload,
+        /// Network interface.
+        ni: NiKind,
+        /// Which bus the NI sits on.
+        location: DeviceLocation,
+        /// Machine size in nodes.
+        nodes: usize,
+        /// Input-size tier.
+        tier: ParamsTier,
+    },
+    /// One cachable-queue ablation variant (§2.2): `CNI512Q` on the memory
+    /// bus with the given optimisation switches, measured on the 64-byte
+    /// round trip and the 2 KB stream.
+    Ablation {
+        /// Which CQ optimisations are enabled.
+        opts: CqOptimizations,
+        /// Round trips measured.
+        iterations: usize,
+        /// Messages streamed.
+        messages: usize,
+    },
+    /// The Table 1 taxonomy — pure data, no simulation; a cell so Table 1
+    /// renders through the same pipeline as everything else.
+    Taxonomy,
+}
+
+/// Canonical token for a bus location.
+pub fn location_token(location: DeviceLocation) -> &'static str {
+    match location {
+        DeviceLocation::CacheBus => "cache",
+        DeviceLocation::MemoryBus => "memory",
+        DeviceLocation::IoBus => "io",
+    }
+}
+
+/// Fingerprint of everything a spec implies but does not spell out: the
+/// full default machine configuration (which covers the Table 2 cost model
+/// plus window size, cache capacity, receive batch, retry interval and
+/// cycle limit), the default CQ optimisations and each tier's workload
+/// parameters. Mixed into every digest so a change to the model or the
+/// inputs orphans stale cache entries instead of serving them. (The
+/// simulator's *code* is deliberately not covered — after a
+/// behaviour-changing code edit, regenerate with `--cold`.)
+fn schema_fingerprint() -> u64 {
+    static FINGERPRINT: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    // A per-process constant (digest() runs per cell, per pass), computed
+    // once.
+    *FINGERPRINT.get_or_init(|| {
+        let mut hasher = Fnv64::new();
+        hasher.write_str(SPEC_SCHEMA);
+        // Debug output includes every field, so any default the cells
+        // inherit (not just TimingConfig) perturbs the fingerprint when
+        // edited. The wall-clock knobs it also sweeps in (queue_backend,
+        // shards, parallel) are constants of `isca96`, so they never vary
+        // between runs.
+        hasher.write_str(&format!("{:?}", MachineConfig::isca96(2, NiKind::Ni2w)));
+        hasher.write_str(&format!("{:?}", TimingConfig::isca96()));
+        hasher.write_str(&format!("{:?}", CqOptimizations::default()));
+        for tier in ParamsTier::ALL {
+            hasher.write_str(&format!("{:?}", tier.params()));
+        }
+        hasher.finish()
+    })
+}
+
+impl ExperimentSpec {
+    /// The canonical JSON encoding of the spec — the digested text, also
+    /// embedded in `--json` output so a cache entry is self-describing.
+    pub fn canonical(&self) -> String {
+        match *self {
+            ExperimentSpec::Latency {
+                ni,
+                location,
+                message_bytes,
+                iterations,
+            } => format!(
+                r#"{{"kind":"latency","ni":"{ni}","location":"{}","message_bytes":{message_bytes},"iterations":{iterations}}}"#,
+                location_token(location)
+            ),
+            ExperimentSpec::Bandwidth {
+                ni,
+                location,
+                snarfing,
+                message_bytes,
+                messages,
+            } => format!(
+                r#"{{"kind":"bandwidth","ni":"{ni}","location":"{}","snarfing":{snarfing},"message_bytes":{message_bytes},"messages":{messages}}}"#,
+                location_token(location)
+            ),
+            ExperimentSpec::Macro {
+                workload,
+                ni,
+                location,
+                nodes,
+                tier,
+            } => format!(
+                r#"{{"kind":"macro","workload":"{workload}","ni":"{ni}","location":"{}","nodes":{nodes},"tier":"{tier}"}}"#,
+                location_token(location)
+            ),
+            ExperimentSpec::Ablation {
+                opts,
+                iterations,
+                messages,
+            } => format!(
+                r#"{{"kind":"ablation","lazy_pointers":{},"valid_bits":{},"sense_reverse":{},"iterations":{iterations},"messages":{messages}}}"#,
+                opts.lazy_pointers, opts.valid_bits, opts.sense_reverse
+            ),
+            ExperimentSpec::Taxonomy => r#"{"kind":"taxonomy"}"#.to_owned(),
+        }
+    }
+
+    /// The cache key: FNV-1a over the schema fingerprint and the canonical
+    /// encoding. Equal digests ⇒ equal simulated results (by the
+    /// determinism invariant); the executor also uses this to run each
+    /// distinct spec once per campaign set, however many cells share it.
+    pub fn digest(&self) -> u64 {
+        let mut hasher = Fnv64::new();
+        hasher.write_u64(schema_fingerprint());
+        hasher.write_str(&self.canonical());
+        hasher.finish()
+    }
+
+    /// Runs the cell and returns its result as canonical JSON — the exact
+    /// bytes cached on disk. Pure with respect to the spec: byte-identical
+    /// on every host, executor mode and [`ExecKnobs`] choice.
+    pub fn execute(&self, knobs: &ExecKnobs) -> String {
+        let tune = |cfg: MachineConfig| {
+            cfg.with_queue_backend(knobs.backend)
+                .with_shards(knobs.shards)
+                .with_parallel(knobs.parallel)
+        };
+        match *self {
+            ExperimentSpec::Latency {
+                ni,
+                location,
+                message_bytes,
+                iterations,
+            } => {
+                let cfg = tune(MachineConfig::for_bus(2, ni, location));
+                let report = round_trip_latency(
+                    &cfg,
+                    &LatencyParams {
+                        message_bytes,
+                        iterations,
+                    },
+                );
+                format!(
+                    r#"{{"round_trip_micros":{},"round_trip_cycles":{}}}"#,
+                    report.round_trip_micros, report.round_trip_cycles
+                )
+            }
+            ExperimentSpec::Bandwidth {
+                ni,
+                location,
+                snarfing,
+                message_bytes,
+                messages,
+            } => {
+                let mut cfg = MachineConfig::for_bus(2, ni, location);
+                if snarfing {
+                    cfg = cfg.with_snarfing();
+                }
+                let report = stream_bandwidth(
+                    &tune(cfg),
+                    &BandwidthParams {
+                        message_bytes,
+                        messages,
+                    },
+                );
+                format!(
+                    r#"{{"relative":{},"mbytes_per_sec":{},"bytes":{},"cycles":{}}}"#,
+                    report.relative, report.mbytes_per_sec, report.bytes, report.cycles
+                )
+            }
+            ExperimentSpec::Macro {
+                workload,
+                ni,
+                location,
+                nodes,
+                tier,
+            } => {
+                let cfg = tune(MachineConfig::for_bus(nodes, ni, location));
+                let report = run_workload_report(workload, &cfg, &tier.params());
+                format!(
+                    r#"{{"cycles":{},"memory_bus_busy":{},"io_bus_busy":{},"report_digest":"{:016x}"}}"#,
+                    report.cycles,
+                    report.memory_bus_busy,
+                    report.io_bus_busy,
+                    report_digest(&report)
+                )
+            }
+            ExperimentSpec::Ablation {
+                opts,
+                iterations,
+                messages,
+            } => {
+                let cfg = tune(MachineConfig::isca96(2, NiKind::Cni512Q).with_cq_opts(opts));
+                let latency = round_trip_latency(
+                    &cfg,
+                    &LatencyParams {
+                        message_bytes: 64,
+                        iterations,
+                    },
+                );
+                let bandwidth = stream_bandwidth(
+                    &cfg,
+                    &BandwidthParams {
+                        message_bytes: 2048,
+                        messages,
+                    },
+                );
+                format!(
+                    r#"{{"round_trip_micros":{},"relative_bandwidth":{}}}"#,
+                    latency.round_trip_micros, bandwidth.relative
+                )
+            }
+            ExperimentSpec::Taxonomy => {
+                let rows: Vec<String> = NiKind::ALL
+                    .into_iter()
+                    .map(|kind| {
+                        let spec = kind.spec();
+                        let opt = |v: Option<usize>| {
+                            v.map_or("null".to_owned(), |n| n.to_string())
+                        };
+                        format!(
+                            r#"{{"label":"{}","exposed_words":{},"exposed_blocks":{},"queue_capacity_blocks":{},"device_cache_blocks":{},"pointers":"{}","home":"{}","coherent":{}}}"#,
+                            spec.label,
+                            opt(spec.exposed_words),
+                            opt(spec.exposed_blocks),
+                            spec.queue_capacity_blocks,
+                            opt(spec.device_cache_blocks),
+                            match spec.pointers {
+                                QueuePointers::Implicit => "implicit",
+                                QueuePointers::Explicit => "explicit",
+                            },
+                            match spec.home {
+                                QueueHome::Device => "device",
+                                QueueHome::MainMemory => "main memory",
+                            },
+                            kind.is_coherent()
+                        )
+                    })
+                    .collect();
+                format!(r#"{{"rows":[{}]}}"#, rows.join(","))
+            }
+        }
+    }
+
+    /// A short human label for progress output and `--json`, e.g.
+    /// `macro/gauss/CNI16Q/memory/16n/scaled`.
+    pub fn label(&self) -> String {
+        match *self {
+            ExperimentSpec::Latency {
+                ni,
+                location,
+                message_bytes,
+                ..
+            } => format!("latency/{ni}/{}/{message_bytes}B", location_token(location)),
+            ExperimentSpec::Bandwidth {
+                ni,
+                location,
+                snarfing,
+                message_bytes,
+                ..
+            } => format!(
+                "bandwidth/{ni}{}/{}/{message_bytes}B",
+                if snarfing { "+snarf" } else { "" },
+                location_token(location)
+            ),
+            ExperimentSpec::Macro {
+                workload,
+                ni,
+                location,
+                nodes,
+                tier,
+            } => format!(
+                "macro/{workload}/{ni}/{}/{nodes}n/{tier}",
+                location_token(location)
+            ),
+            ExperimentSpec::Ablation { opts, .. } => format!(
+                "ablation/lazy={}/valid={}/sense={}",
+                opts.lazy_pointers, opts.valid_bits, opts.sense_reverse
+            ),
+            ExperimentSpec::Taxonomy => "taxonomy".to_owned(),
+        }
+    }
+}
+
+/// Digest of an arbitrary string under the campaign schema — used by tests
+/// and by `RESULTS.md` provenance lines.
+pub fn campaign_text_digest(text: &str) -> u64 {
+    let mut hasher = Fnv64::new();
+    hasher.write_u64(fnv64_of_str(SPEC_SCHEMA));
+    hasher.write_str(text);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_separate_specs_and_ignore_exec_knobs() {
+        let a = ExperimentSpec::Latency {
+            ni: NiKind::Cni16Q,
+            location: DeviceLocation::MemoryBus,
+            message_bytes: 64,
+            iterations: 6,
+        };
+        let b = ExperimentSpec::Latency {
+            ni: NiKind::Cni16Q,
+            location: DeviceLocation::MemoryBus,
+            message_bytes: 128,
+            iterations: 6,
+        };
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.digest());
+        // Exec knobs are not part of the spec, so the digest cannot see
+        // them; the result they produce is identical too.
+        let wheel = a.execute(&ExecKnobs::default());
+        let heap = a.execute(&ExecKnobs {
+            backend: QueueBackend::BinaryHeap,
+            ..ExecKnobs::default()
+        });
+        assert_eq!(wheel, heap, "queue backend must not change results");
+    }
+
+    #[test]
+    fn results_are_canonical_json() {
+        let spec = ExperimentSpec::Taxonomy;
+        let json = crate::json::Json::parse(&spec.execute(&ExecKnobs::default())).unwrap();
+        let rows = json.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].get("label").unwrap().as_str(), Some("NI2w"));
+        assert_eq!(rows[4].get("home").unwrap().as_str(), Some("main memory"));
+    }
+
+    #[test]
+    fn canonical_encodings_parse_as_json() {
+        let specs = [
+            ExperimentSpec::Latency {
+                ni: NiKind::Ni2w,
+                location: DeviceLocation::IoBus,
+                message_bytes: 8,
+                iterations: 2,
+            },
+            ExperimentSpec::Bandwidth {
+                ni: NiKind::Cni16Qm,
+                location: DeviceLocation::MemoryBus,
+                snarfing: true,
+                message_bytes: 512,
+                messages: 4,
+            },
+            ExperimentSpec::Macro {
+                workload: Workload::Gauss,
+                ni: NiKind::Cni4,
+                location: DeviceLocation::MemoryBus,
+                nodes: 4,
+                tier: ParamsTier::Quick,
+            },
+            ExperimentSpec::Ablation {
+                opts: CqOptimizations::none(),
+                iterations: 2,
+                messages: 4,
+            },
+            ExperimentSpec::Taxonomy,
+        ];
+        for spec in specs {
+            let parsed = crate::json::Json::parse(&spec.canonical()).unwrap();
+            assert!(parsed.get("kind").is_some(), "{}", spec.canonical());
+            assert!(!spec.label().is_empty());
+        }
+    }
+}

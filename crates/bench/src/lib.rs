@@ -1,18 +1,37 @@
 //! Benchmark harness for regenerating every table and figure of the paper's
 //! evaluation (§5).
 //!
-//! The functions here are shared between the `fig6` / `fig7` / `fig8` /
-//! `occupancy` harness binaries and the Criterion benches. Each returns plain
-//! data structures so tests can assert on the *shape* of the results (who
-//! wins, by roughly how much) without parsing console output.
+//! # The campaign engine
 //!
-//! | experiment | function | binary |
+//! Every figure is defined declaratively in [`campaign::figures`] as a
+//! [`campaign::Campaign`] — a grid of pure [`campaign::ExperimentSpec`]
+//! cells — and executed by [`campaign::run_campaigns`]: cells are
+//! deduplicated and cached on disk by config digest, and the remaining ones
+//! run concurrently on a work-stealing pool. The `report` binary executes
+//! every campaign and renders the generated `RESULTS.md` at the repo root:
+//!
+//! ```text
+//! cargo run --release -p cni-bench --bin report            # regenerate RESULTS.md
+//! cargo run --release -p cni-bench --bin report -- --json  # machine-readable superset
+//! cargo run --release -p cni-bench --bin report -- --ci    # cold run (what CI diffs)
+//! ```
+//!
+//! The per-figure binaries are thin front-ends over the same campaigns:
+//!
+//! | experiment | campaign | binary |
 //! |------------|----------|--------|
-//! | Figure 6 (round-trip latency)      | [`fig6_series`]       | `cargo run --release -p cni-bench --bin fig6` |
-//! | Figure 7 (bandwidth)               | [`fig7_series`]       | `cargo run --release -p cni-bench --bin fig7` |
-//! | Figure 8 (macrobenchmark speedups) | [`fig8_speedups`]     | `cargo run --release -p cni-bench --bin fig8` |
-//! | §5.2 bus-occupancy reduction       | [`occupancy_table`]   | `cargo run --release -p cni-bench --bin occupancy` |
-//! | Table 1 (taxonomy)                 | [`taxonomy_table`]    | `cargo run --release -p cni-bench --bin taxonomy` |
+//! | Figure 6 (round-trip latency)      | [`campaign::figures::fig6_campaign`]      | `cargo run --release -p cni-bench --bin fig6` |
+//! | Figure 7 (bandwidth)               | [`campaign::figures::fig7_campaign`]      | `cargo run --release -p cni-bench --bin fig7` |
+//! | Figure 8 (macrobenchmark speedups) | [`campaign::figures::fig8_campaign`]      | `cargo run --release -p cni-bench --bin fig8` |
+//! | §5.2 bus-occupancy reduction       | [`campaign::figures::occupancy_campaign`] | `cargo run --release -p cni-bench --bin occupancy` |
+//! | §2.2 CQ ablation                   | [`campaign::figures::ablation_campaign`]  | `cargo run --release -p cni-bench --bin ablation` |
+//! | Table 1 (taxonomy)                 | [`campaign::figures::taxonomy_campaign`]  | `cargo run --release -p cni-bench --bin taxonomy` |
+//!
+//! This crate root keeps only the shared primitives the campaigns, the
+//! harness binaries and the Criterion benches build on: the figure size
+//! sweeps, the NI-per-bus sets, [`run_workload`] and [`report_digest`].
+//! There is exactly one implementation of each figure sweep — the campaign
+//! definition in [`campaign::figures`].
 //!
 //! # Benchmark workflow
 //!
@@ -21,10 +40,11 @@
 //! **Simulated results** (the paper's metrics: cycles, speedups, occupancy)
 //! come from the harness binaries above. They are deterministic: the same
 //! inputs produce bit-identical numbers on any machine, regardless of the
-//! event-queue backend. Each binary takes `quick` (tiny inputs, seconds) or
-//! `paper` (Table 3 inputs, slower); `fig8` additionally takes `--json` to
-//! emit the sweep machine-readably and `--backend heap|wheel` to select the
-//! `cni_sim::EventQueue` backend.
+//! event-queue backend. Each binary takes `quick` (tiny inputs, seconds),
+//! `scaled` (the default) or `paper` (Table 3 inputs, slower); `fig8`
+//! additionally takes `--backend heap|wheel` to select the
+//! `cni_sim::EventQueue` backend, and every campaign front-end takes
+//! `--json`, `--jobs N` and `--cold` (see [`cli`]).
 //!
 //! **Simulator performance** (wall-clock of the simulator itself) comes from
 //! the Criterion benches:
@@ -44,17 +64,19 @@
 //! cargo run --release -p cni-bench --bin fig8 -- --json > BENCH_seed.json
 //! ```
 //!
-//! and summarized in ROADMAP.md's Performance section.
+//! (`fig8 --json` always simulates — it bypasses the campaign result cache,
+//! since a cached wall-clock would time nothing) and summarized in
+//! ROADMAP.md's Performance section.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
+pub mod campaign;
+pub mod cli;
+pub mod json;
 
 use cni_core::machine::{Machine, MachineConfig, RunReport};
-use cni_core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
 use cni_mem::system::DeviceLocation;
-use cni_nic::taxonomy::{NiKind, NiSpec};
-use cni_sim::event::QueueBackend;
+use cni_nic::taxonomy::NiKind;
 use cni_sim::time::Cycle;
 use cni_workloads::{Workload, WorkloadParams};
 
@@ -63,32 +85,6 @@ pub const FIG6_SIZES: [usize; 6] = [8, 16, 32, 64, 128, 256];
 
 /// The message sizes swept by Figure 7 (bytes).
 pub const FIG7_SIZES: [usize; 7] = [8, 32, 64, 256, 512, 2048, 4096];
-
-/// One measured series (one NI on one bus).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Series {
-    /// Network interface.
-    pub ni: NiKind,
-    /// Where the NI sits.
-    pub location: DeviceLocation,
-    /// Whether data snarfing was enabled (Figure 7a's extra series).
-    pub snarfing: bool,
-    /// `(message bytes, value)` points; the value is microseconds for
-    /// Figure 6 and relative bandwidth for Figure 7.
-    pub points: Vec<(usize, f64)>,
-}
-
-impl Series {
-    /// Label matching the paper's figures.
-    pub fn label(&self) -> String {
-        let base = format!("{} ({})", self.ni, location_name(self.location));
-        if self.snarfing {
-            format!("{base} + snarf")
-        } else {
-            base
-        }
-    }
-}
 
 /// Human-readable bus name.
 pub fn location_name(location: DeviceLocation) -> &'static str {
@@ -110,112 +106,6 @@ pub fn ni_set_for(location: DeviceLocation) -> Vec<NiKind> {
             .filter(|&k| k != NiKind::Cni16Qm)
             .collect(),
         DeviceLocation::CacheBus => vec![NiKind::Ni2w],
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Figure 6: round-trip latency
-// ---------------------------------------------------------------------------
-
-/// Measures the Figure 6 latency series for every NI on `location`.
-pub fn fig6_series(location: DeviceLocation, sizes: &[usize], iterations: usize) -> Vec<Series> {
-    ni_set_for(location)
-        .into_iter()
-        .map(|ni| {
-            let cfg = MachineConfig::for_bus(2, ni, location);
-            let points = sizes
-                .iter()
-                .map(|&bytes| {
-                    let report = round_trip_latency(
-                        &cfg,
-                        &LatencyParams {
-                            message_bytes: bytes,
-                            iterations,
-                        },
-                    );
-                    (bytes, report.round_trip_micros)
-                })
-                .collect();
-            Series {
-                ni,
-                location,
-                snarfing: false,
-                points,
-            }
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------------
-// Figure 7: bandwidth
-// ---------------------------------------------------------------------------
-
-/// Measures the Figure 7 bandwidth series (relative to the two-processor
-/// local-queue maximum) for every NI on `location`. On the memory bus the
-/// `CNI16Qm + snarfing` series of Figure 7a is included as well.
-pub fn fig7_series(location: DeviceLocation, sizes: &[usize], messages: usize) -> Vec<Series> {
-    let mut series: Vec<Series> = ni_set_for(location)
-        .into_iter()
-        .map(|ni| {
-            let cfg = MachineConfig::for_bus(2, ni, location);
-            Series {
-                ni,
-                location,
-                snarfing: false,
-                points: bandwidth_points(&cfg, sizes, messages),
-            }
-        })
-        .collect();
-    if location == DeviceLocation::MemoryBus {
-        let cfg = MachineConfig::for_bus(2, NiKind::Cni16Qm, location).with_snarfing();
-        series.push(Series {
-            ni: NiKind::Cni16Qm,
-            location,
-            snarfing: true,
-            points: bandwidth_points(&cfg, sizes, messages),
-        });
-    }
-    series
-}
-
-fn bandwidth_points(cfg: &MachineConfig, sizes: &[usize], messages: usize) -> Vec<(usize, f64)> {
-    sizes
-        .iter()
-        .map(|&bytes| {
-            let report = stream_bandwidth(
-                cfg,
-                &BandwidthParams {
-                    message_bytes: bytes,
-                    messages,
-                },
-            );
-            (bytes, report.relative)
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------------
-// Figure 8: macrobenchmark speedups
-// ---------------------------------------------------------------------------
-
-/// One macrobenchmark's results on one bus.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MacroResult {
-    /// The benchmark.
-    pub workload: Workload,
-    /// Where the NIs sit.
-    pub location: DeviceLocation,
-    /// `(NI, execution cycles, speedup over NI2w on the memory bus)`.
-    pub rows: Vec<(NiKind, Cycle, f64)>,
-}
-
-impl MacroResult {
-    /// The speedup of a particular NI, if measured.
-    pub fn speedup_of(&self, ni: NiKind) -> Option<f64> {
-        self.rows
-            .iter()
-            .find(|(k, _, _)| *k == ni)
-            .map(|(_, _, s)| *s)
     }
 }
 
@@ -260,257 +150,39 @@ pub fn run_workload(workload: Workload, cfg: &MachineConfig, params: &WorkloadPa
 /// execution modes, so this digest is stable: CI pins the digest of a
 /// reference scaling run and fails if any refactor perturbs the simulation.
 pub fn report_digest(report: &RunReport) -> u64 {
-    // FNV-1a over the report's scalar fields, in a fixed order.
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    mix(u64::from(report.completed));
-    mix(u64::from(report.aborted));
-    mix(report.cycles);
-    mix(report.memory_bus_busy);
-    mix(report.io_bus_busy);
+    // FNV-1a over the report's scalar fields, in a fixed order. The write
+    // sequence is load-bearing: `SCALING_ref.txt` pins a digest produced by
+    // exactly this ordering.
+    let mut hasher = cni_core::digest::Fnv64::new();
+    hasher.write_u64(u64::from(report.completed));
+    hasher.write_u64(u64::from(report.aborted));
+    hasher.write_u64(report.cycles);
+    hasher.write_u64(report.memory_bus_busy);
+    hasher.write_u64(report.io_bus_busy);
     for &busy in &report.memory_bus_busy_per_node {
-        mix(busy);
+        hasher.write_u64(busy);
     }
-    mix(report.fabric.messages);
-    mix(report.fabric.wire_bytes);
-    mix(report.fabric.payload_bytes);
+    hasher.write_u64(report.fabric.messages);
+    hasher.write_u64(report.fabric.wire_bytes);
+    hasher.write_u64(report.fabric.payload_bytes);
     for stats in &report.node_stats {
-        mix(stats.sent_messages);
-        mix(stats.sent_bytes);
-        mix(stats.sent_fragments);
-        mix(stats.received_fragments);
-        mix(stats.received_messages);
-        mix(stats.received_bytes);
-        mix(stats.compute_cycles);
-        mix(stats.send_full_retries);
-        mix(stats.local_messages);
+        hasher.write_u64(stats.sent_messages);
+        hasher.write_u64(stats.sent_bytes);
+        hasher.write_u64(stats.sent_fragments);
+        hasher.write_u64(stats.received_fragments);
+        hasher.write_u64(stats.received_messages);
+        hasher.write_u64(stats.received_bytes);
+        hasher.write_u64(stats.compute_cycles);
+        hasher.write_u64(stats.send_full_retries);
+        hasher.write_u64(stats.local_messages);
     }
-    hash
-}
-
-/// Measures Figure 8's speedups (normalised to `NI2w` on the memory bus) for
-/// every NI on `location`, using the default event-queue backend.
-pub fn fig8_speedups(
-    location: DeviceLocation,
-    nodes: usize,
-    params: &WorkloadParams,
-    workloads: &[Workload],
-) -> Vec<MacroResult> {
-    fig8_speedups_with_backend(location, nodes, params, workloads, QueueBackend::default())
-}
-
-/// Per-workload execution time of `NI2w` on the memory bus — Figure 8's
-/// normalisation baseline. Deterministic and backend-independent, so callers
-/// producing several panels (like the `fig8` binary) compute it once and
-/// pass it to the `*_with_baselines` variants instead of re-simulating it
-/// per panel.
-pub fn fig8_baselines(
-    nodes: usize,
-    params: &WorkloadParams,
-    workloads: &[Workload],
-    backend: QueueBackend,
-) -> Vec<Cycle> {
-    workloads
-        .iter()
-        .map(|&workload| {
-            run_workload(
-                workload,
-                &MachineConfig::isca96(nodes, NiKind::Ni2w).with_queue_backend(backend),
-                params,
-            )
-        })
-        .collect()
-}
-
-/// [`fig8_speedups`] with an explicit event-queue backend, for A/B
-/// simulator-performance measurement (simulated results are identical).
-pub fn fig8_speedups_with_backend(
-    location: DeviceLocation,
-    nodes: usize,
-    params: &WorkloadParams,
-    workloads: &[Workload],
-    backend: QueueBackend,
-) -> Vec<MacroResult> {
-    let baselines = fig8_baselines(nodes, params, workloads, backend);
-    fig8_speedups_with_baselines(location, nodes, params, workloads, backend, &baselines)
-}
-
-/// [`fig8_speedups_with_backend`] reusing precomputed [`fig8_baselines`]
-/// (`baselines[i]` corresponds to `workloads[i]`).
-pub fn fig8_speedups_with_baselines(
-    location: DeviceLocation,
-    nodes: usize,
-    params: &WorkloadParams,
-    workloads: &[Workload],
-    backend: QueueBackend,
-    baselines: &[Cycle],
-) -> Vec<MacroResult> {
-    assert_eq!(
-        workloads.len(),
-        baselines.len(),
-        "one baseline per workload"
-    );
-    workloads
-        .iter()
-        .zip(baselines)
-        .map(|(&workload, &baseline)| {
-            let rows = ni_set_for(location)
-                .into_iter()
-                .map(|ni| {
-                    // The memory-bus NI2w row *is* the baseline run — reuse
-                    // it instead of re-simulating the identical deterministic
-                    // machine.
-                    let cycles = if ni == NiKind::Ni2w && location == DeviceLocation::MemoryBus {
-                        baseline
-                    } else {
-                        let cfg =
-                            MachineConfig::for_bus(nodes, ni, location).with_queue_backend(backend);
-                        run_workload(workload, &cfg, params)
-                    };
-                    (ni, cycles, baseline as f64 / cycles as f64)
-                })
-                .collect();
-            MacroResult {
-                workload,
-                location,
-                rows,
-            }
-        })
-        .collect()
-}
-
-/// The "alternate buses" comparison of Figure 8c: `NI2w` on the cache bus,
-/// `CNI16Qm` on the memory bus and `CNI512Q` on the I/O bus, all normalised
-/// to `NI2w` on the memory bus.
-pub fn fig8_alternate_buses(
-    nodes: usize,
-    params: &WorkloadParams,
-    workloads: &[Workload],
-) -> Vec<MacroResult> {
-    fig8_alternate_buses_with_backend(nodes, params, workloads, QueueBackend::default())
-}
-
-/// [`fig8_alternate_buses`] with an explicit event-queue backend (see
-/// [`fig8_speedups_with_backend`]).
-pub fn fig8_alternate_buses_with_backend(
-    nodes: usize,
-    params: &WorkloadParams,
-    workloads: &[Workload],
-    backend: QueueBackend,
-) -> Vec<MacroResult> {
-    let baselines = fig8_baselines(nodes, params, workloads, backend);
-    fig8_alternate_buses_with_baselines(nodes, params, workloads, backend, &baselines)
-}
-
-/// [`fig8_alternate_buses_with_backend`] reusing precomputed
-/// [`fig8_baselines`] (`baselines[i]` corresponds to `workloads[i]`).
-pub fn fig8_alternate_buses_with_baselines(
-    nodes: usize,
-    params: &WorkloadParams,
-    workloads: &[Workload],
-    backend: QueueBackend,
-    baselines: &[Cycle],
-) -> Vec<MacroResult> {
-    assert_eq!(
-        workloads.len(),
-        baselines.len(),
-        "one baseline per workload"
-    );
-    workloads
-        .iter()
-        .zip(baselines)
-        .map(|(&workload, &baseline)| {
-            let combos = [
-                (NiKind::Ni2w, DeviceLocation::CacheBus),
-                (NiKind::Cni16Qm, DeviceLocation::MemoryBus),
-                (NiKind::Cni512Q, DeviceLocation::IoBus),
-            ];
-            let rows = combos
-                .into_iter()
-                .map(|(ni, loc)| {
-                    let cfg = MachineConfig::for_bus(nodes, ni, loc).with_queue_backend(backend);
-                    let cycles = run_workload(workload, &cfg, params);
-                    (ni, cycles, baseline as f64 / cycles as f64)
-                })
-                .collect();
-            MacroResult {
-                workload,
-                location: DeviceLocation::MemoryBus,
-                rows,
-            }
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------------
-// §5.2: memory-bus occupancy
-// ---------------------------------------------------------------------------
-
-/// Memory-bus occupancy of one workload under one NI, plus the reduction
-/// relative to `NI2w`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct OccupancyRow {
-    /// The benchmark.
-    pub workload: Workload,
-    /// The NI (all on the memory bus).
-    pub ni: NiKind,
-    /// Summed memory-bus busy cycles across nodes.
-    pub busy_cycles: Cycle,
-    /// Execution time in cycles.
-    pub total_cycles: Cycle,
-    /// Occupancy reduction relative to `NI2w` (0.23 ≈ the paper's 23 % for
-    /// CNI4, 0.66 ≈ the 66 % average for the CQ-based CNIs).
-    pub reduction_vs_ni2w: f64,
-}
-
-/// Measures the memory-bus occupancy table of §5.2 on the memory bus.
-pub fn occupancy_table(
-    nodes: usize,
-    params: &WorkloadParams,
-    workloads: &[Workload],
-) -> Vec<OccupancyRow> {
-    let mut rows = Vec::new();
-    for &workload in workloads {
-        let mut baseline_busy = None;
-        for ni in NiKind::ALL {
-            let cfg = MachineConfig::isca96(nodes, ni);
-            let programs = workload.programs(nodes, params);
-            let mut machine = Machine::new(cfg, programs);
-            let report = machine.run();
-            assert!(report.completed, "{workload} did not complete on {ni}");
-            // Occupancy is normalised per unit time so shorter runs are not
-            // unfairly credited.
-            let busy_rate = report.memory_bus_busy as f64 / report.cycles.max(1) as f64;
-            let baseline = *baseline_busy.get_or_insert(busy_rate);
-            rows.push(OccupancyRow {
-                workload,
-                ni,
-                busy_cycles: report.memory_bus_busy,
-                total_cycles: report.cycles,
-                reduction_vs_ni2w: 1.0 - busy_rate / baseline,
-            });
-        }
-    }
-    rows
-}
-
-// ---------------------------------------------------------------------------
-// Table 1: taxonomy
-// ---------------------------------------------------------------------------
-
-/// Returns the Table 1 rows.
-pub fn taxonomy_table() -> Vec<NiSpec> {
-    NiKind::ALL.into_iter().map(NiKind::spec).collect()
+    hasher.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cni_core::micro::{round_trip_latency, LatencyParams};
 
     #[test]
     fn ni_sets_match_the_papers_evaluation() {
@@ -520,46 +192,32 @@ mod tests {
         assert_eq!(ni_set_for(DeviceLocation::CacheBus), vec![NiKind::Ni2w]);
     }
 
-    #[test]
-    fn taxonomy_table_has_five_rows() {
-        let t = taxonomy_table();
-        assert_eq!(t.len(), 5);
-        assert_eq!(t[0].label, "NI2w");
-        assert_eq!(t[4].label, "CNI16Qm");
-    }
-
-    #[test]
-    fn series_labels_are_informative() {
-        let s = Series {
-            ni: NiKind::Cni16Qm,
-            location: DeviceLocation::MemoryBus,
-            snarfing: true,
-            points: vec![],
-        };
-        assert_eq!(s.label(), "CNI16Qm (memory bus) + snarf");
+    /// 64-byte round-trip latency of `ni` on `location`, in microseconds.
+    fn latency_64b(ni: NiKind, location: DeviceLocation) -> f64 {
+        let cfg = MachineConfig::for_bus(2, ni, location);
+        round_trip_latency(
+            &cfg,
+            &LatencyParams {
+                message_bytes: 64,
+                iterations: 6,
+            },
+        )
+        .round_trip_micros
     }
 
     #[test]
     fn fig6_shape_cnis_beat_ni2w_and_io_bus_is_slower() {
-        let sizes = [64usize];
-        let mem = fig6_series(DeviceLocation::MemoryBus, &sizes, 6);
-        let ni2w = mem.iter().find(|s| s.ni == NiKind::Ni2w).unwrap().points[0].1;
-        for s in mem.iter().filter(|s| s.ni != NiKind::Ni2w) {
+        let ni2w = latency_64b(NiKind::Ni2w, DeviceLocation::MemoryBus);
+        for ni in NiKind::COHERENT {
+            let cni = latency_64b(ni, DeviceLocation::MemoryBus);
             assert!(
-                s.points[0].1 < ni2w,
-                "{} should have lower 64-byte latency than NI2w ({:.2} vs {:.2} µs)",
-                s.ni,
-                s.points[0].1,
-                ni2w
+                cni < ni2w,
+                "{ni} should have lower 64-byte latency than NI2w ({cni:.2} vs {ni2w:.2} µs)"
             );
         }
-        let io = fig6_series(DeviceLocation::IoBus, &sizes, 6);
-        let mem_cni = mem.iter().find(|s| s.ni == NiKind::Cni512Q).unwrap().points[0].1;
-        let io_cni = io.iter().find(|s| s.ni == NiKind::Cni512Q).unwrap().points[0].1;
-        assert!(
-            io_cni > mem_cni,
-            "the I/O bus must be slower than the memory bus"
-        );
+        let mem = latency_64b(NiKind::Cni512Q, DeviceLocation::MemoryBus);
+        let io = latency_64b(NiKind::Cni512Q, DeviceLocation::IoBus);
+        assert!(io > mem, "the I/O bus must be slower than the memory bus");
     }
 
     #[test]
@@ -569,15 +227,10 @@ mod tests {
         // fine-grain benchmarks need larger inputs before the gap opens up
         // (see EXPERIMENTS.md).
         let params = WorkloadParams::tiny();
-        let results = fig8_speedups(DeviceLocation::MemoryBus, 4, &params, &[Workload::Gauss]);
-        let r = &results[0];
-        let ni2w = r.speedup_of(NiKind::Ni2w).unwrap();
-        let qm = r.speedup_of(NiKind::Cni16Qm).unwrap();
-        let q16 = r.speedup_of(NiKind::Cni16Q).unwrap();
-        assert!(
-            (ni2w - 1.0).abs() < 1e-9,
-            "the baseline must have speedup 1.0"
-        );
+        let cycles = |ni| run_workload(Workload::Gauss, &MachineConfig::isca96(4, ni), &params);
+        let baseline = cycles(NiKind::Ni2w);
+        let qm = baseline as f64 / cycles(NiKind::Cni16Qm) as f64;
+        let q16 = baseline as f64 / cycles(NiKind::Cni16Q) as f64;
         assert!(qm > 1.0, "CNI16Qm should speed gauss up (got {qm:.2})");
         assert!(q16 > 1.0, "CNI16Q should speed gauss up (got {q16:.2})");
     }

@@ -1,0 +1,209 @@
+//! Integration tests of the campaign engine's two core guarantees:
+//!
+//! * **Executor determinism** — a parallel campaign run produces per-cell
+//!   JSON byte-identical to a cell-by-cell sequential (`jobs = 1`) run.
+//! * **Caching** — a second run over an unchanged campaign executes zero
+//!   cells (verified by the engine's execution counter) and still returns
+//!   byte-identical results; changing one cell re-executes only that cell.
+
+use std::path::PathBuf;
+
+use cni_bench::campaign::figures::{ablation_campaign, fig8_campaign, render_markdown};
+use cni_bench::campaign::{
+    run_campaign, run_campaigns, CacheMode, Campaign, ExperimentSpec, RunOptions,
+};
+use cni_mem::system::DeviceLocation;
+use cni_nic::taxonomy::NiKind;
+use cni_workloads::{ParamsTier, Workload};
+
+/// A per-test scratch cache directory, removed on drop.
+struct ScratchCache {
+    dir: PathBuf,
+}
+
+impl ScratchCache {
+    fn new(name: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("cni-campaign-test-{}-{name}", std::process::id()));
+        // A stale directory from a crashed run must not leak hits into this
+        // test.
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchCache { dir }
+    }
+}
+
+impl Drop for ScratchCache {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A small but non-trivial campaign: one macrobenchmark across every panel
+/// of Figure 8 at the quick tier (8-node machines, tiny inputs).
+fn small_macro_campaign() -> Campaign {
+    fig8_campaign(ParamsTier::Quick, &[Workload::Gauss])
+}
+
+#[test]
+fn parallel_and_sequential_executions_are_byte_identical() {
+    let campaign = small_macro_campaign();
+    let sequential = run_campaign(
+        &campaign,
+        &RunOptions {
+            jobs: 1,
+            cache: CacheMode::Disabled,
+            ..RunOptions::default()
+        },
+    );
+    let parallel = run_campaign(
+        &campaign,
+        &RunOptions {
+            jobs: 8,
+            cache: CacheMode::Disabled,
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(sequential.executed, parallel.executed);
+    let seq_cells = &sequential.campaigns[0].cells;
+    let par_cells = &parallel.campaigns[0].cells;
+    assert_eq!(seq_cells.len(), par_cells.len());
+    for (seq, par) in seq_cells.iter().zip(par_cells) {
+        assert_eq!(seq.digest, par.digest);
+        assert_eq!(
+            seq.json,
+            par.json,
+            "cell {} diverged between jobs=1 and jobs=8",
+            seq.spec.label()
+        );
+    }
+    // And the rendered figure, being a pure function of the cells, matches
+    // byte-for-byte too.
+    assert_eq!(
+        render_markdown(&sequential.campaigns[0]),
+        render_markdown(&parallel.campaigns[0])
+    );
+}
+
+#[test]
+fn second_run_is_a_full_cache_hit_with_identical_bytes() {
+    let scratch = ScratchCache::new("warm");
+    let campaign = ablation_campaign(ParamsTier::Quick);
+    let opts = RunOptions {
+        jobs: 2,
+        cache: CacheMode::ReadWrite(scratch.dir.clone()),
+        ..RunOptions::default()
+    };
+    let first = run_campaign(&campaign, &opts);
+    assert_eq!(first.executed, first.unique_cells);
+    assert_eq!(first.cache_hits, 0);
+    let second = run_campaign(&campaign, &opts);
+    assert_eq!(second.executed, 0, "warm re-run must execute zero cells");
+    assert_eq!(second.cache_hits, second.unique_cells);
+    for (a, b) in first.campaigns[0]
+        .cells
+        .iter()
+        .zip(&second.campaigns[0].cells)
+    {
+        assert!(!a.cached && b.cached);
+        assert_eq!(a.json, b.json, "cache must return the producer's bytes");
+    }
+}
+
+#[test]
+fn changing_one_cell_executes_only_that_cell() {
+    let scratch = ScratchCache::new("delta");
+    let base = Campaign {
+        name: "delta",
+        title: "cache-delta probe".to_owned(),
+        tier: ParamsTier::Quick,
+        workloads: vec![],
+        cells: vec![
+            ExperimentSpec::Taxonomy,
+            ExperimentSpec::Latency {
+                ni: NiKind::Cni16Q,
+                location: DeviceLocation::MemoryBus,
+                message_bytes: 8,
+                iterations: 2,
+            },
+        ],
+    };
+    let opts = RunOptions {
+        jobs: 1,
+        cache: CacheMode::ReadWrite(scratch.dir.clone()),
+        ..RunOptions::default()
+    };
+    assert_eq!(run_campaign(&base, &opts).executed, 2);
+    let mut grown = base.clone();
+    grown.cells.push(ExperimentSpec::Latency {
+        ni: NiKind::Cni16Q,
+        location: DeviceLocation::MemoryBus,
+        message_bytes: 16, // the one changed cell
+        iterations: 2,
+    });
+    let run = run_campaign(&grown, &opts);
+    assert_eq!(run.executed, 1, "only the new cell may execute");
+    assert_eq!(run.cache_hits, 2);
+}
+
+#[test]
+fn duplicate_specs_execute_once_within_a_set() {
+    let cell = ExperimentSpec::Latency {
+        ni: NiKind::Cni512Q,
+        location: DeviceLocation::MemoryBus,
+        message_bytes: 8,
+        iterations: 2,
+    };
+    let one = Campaign {
+        name: "one",
+        title: "dup probe".to_owned(),
+        tier: ParamsTier::Quick,
+        workloads: vec![],
+        cells: vec![cell, cell],
+    };
+    let two = Campaign {
+        name: "two",
+        title: "dup probe".to_owned(),
+        tier: ParamsTier::Quick,
+        workloads: vec![],
+        cells: vec![cell],
+    };
+    let run = run_campaigns(&[one, two], &RunOptions::default());
+    assert_eq!(run.unique_cells, 1);
+    assert_eq!(run.executed, 1, "three cells, one distinct spec, one run");
+    let jsons: Vec<&str> = run
+        .campaigns
+        .iter()
+        .flat_map(|c| c.cells.iter().map(|cell| cell.json.as_str()))
+        .collect();
+    assert_eq!(jsons.len(), 3);
+    assert!(jsons.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn cold_mode_executes_but_still_records() {
+    let scratch = ScratchCache::new("cold");
+    let campaign = Campaign {
+        name: "cold",
+        title: "cold probe".to_owned(),
+        tier: ParamsTier::Quick,
+        workloads: vec![],
+        cells: vec![ExperimentSpec::Taxonomy],
+    };
+    let cold = RunOptions {
+        jobs: 1,
+        cache: CacheMode::WriteOnly(scratch.dir.clone()),
+        ..RunOptions::default()
+    };
+    assert_eq!(run_campaign(&campaign, &cold).executed, 1);
+    // Cold again: the existing entry is ignored.
+    assert_eq!(run_campaign(&campaign, &cold).executed, 1);
+    // Warm: the entry the cold runs recorded is served.
+    let warm = RunOptions {
+        jobs: 1,
+        cache: CacheMode::ReadWrite(scratch.dir.clone()),
+        ..RunOptions::default()
+    };
+    let run = run_campaign(&campaign, &warm);
+    assert_eq!(run.executed, 0);
+    assert_eq!(run.cache_hits, 1);
+}

@@ -1,0 +1,124 @@
+//! Deterministic 64-bit digesting for configurations and results.
+//!
+//! Models no part of the paper — this is reproduction infrastructure. Two
+//! things in this repository are pinned by 64-bit digests:
+//!
+//! * **Simulated results** (`cni_bench::report_digest`, the `scaling --ci`
+//!   line diffed against `SCALING_ref.txt`): simulated results are
+//!   bit-identical across machines, shard policies and execution modes, so a
+//!   digest of a reference run is a portable regression check.
+//! * **Experiment configurations** (`cni_bench::campaign`): every campaign
+//!   cell is keyed by the digest of its canonical spec encoding, which is
+//!   what lets re-running a campaign skip every cell whose configuration —
+//!   and therefore, by determinism, whose result — is unchanged.
+//!
+//! The hash is FNV-1a over a caller-chosen byte sequence. FNV is not
+//! cryptographic; it is small, dependency-free and stable across platforms,
+//! which is all a determinism check or a cache key needs.
+
+/// Incremental FNV-1a hasher over explicit byte/word writes.
+///
+/// The caller fixes the write sequence; two values digest equal iff the
+/// callers fed identical sequences. Multi-byte integers are mixed in
+/// little-endian order regardless of host endianness, so digests are
+/// portable.
+///
+/// ```
+/// use cni_core::digest::Fnv64;
+///
+/// let mut a = Fnv64::new();
+/// a.write_u64(42);
+/// let mut b = Fnv64::new();
+/// b.write_u64(42);
+/// assert_eq!(a.finish(), b.finish());
+/// assert_ne!(Fnv64::new().finish(), a.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    hash: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 {
+            hash: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Mixes raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash ^= u64::from(byte);
+            self.hash = self.hash.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Mixes a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Mixes a string's UTF-8 bytes followed by a `0xFF` terminator, so
+    /// `"ab" + "c"` and `"a" + "bc"` digest differently.
+    pub fn write_str(&mut self, value: &str) {
+        self.write_bytes(value.as_bytes());
+        self.write_bytes(&[0xFF]);
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// One-shot digest of a string (see [`Fnv64::write_str`] for framing — this
+/// uses the raw bytes without a terminator, matching a single
+/// [`Fnv64::write_bytes`] call).
+pub fn fnv64_of_str(value: &str) -> u64 {
+    let mut hasher = Fnv64::new();
+    hasher.write_bytes(value.as_bytes());
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv64_of_str(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64_of_str("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64_of_str("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn word_writes_are_byte_order_fixed() {
+        let mut hasher = Fnv64::new();
+        hasher.write_u64(0x0102_0304_0506_0708);
+        let mut bytes = Fnv64::new();
+        bytes.write_bytes(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(hasher.finish(), bytes.finish());
+    }
+
+    #[test]
+    fn string_framing_separates_concatenations() {
+        let mut ab_c = Fnv64::new();
+        ab_c.write_str("ab");
+        ab_c.write_str("c");
+        let mut a_bc = Fnv64::new();
+        a_bc.write_str("a");
+        a_bc.write_str("bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+}

@@ -20,10 +20,13 @@
 //!   I/O buses and a shared network fabric with sliding-window flow control.
 //! * [`micro`] — the round-trip latency and bandwidth microbenchmarks of
 //!   Figures 6 and 7.
+//! * [`digest`] — the portable FNV-1a digests that pin simulated results
+//!   (`SCALING_ref.txt`) and key the campaign result cache.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cq;
+pub mod digest;
 pub mod machine;
 pub mod micro;
 pub mod msg;

@@ -4,7 +4,8 @@
 //! from a cycle-level discrete-event simulation, and this crate is that
 //! engine — including the conservative-PDES shard driver ([`sharded`]) that
 //! lets the reproduction scale past the paper's 16-node machines without
-//! changing a single simulated result.
+//! changing a single simulated result, and the fork-join job pool ([`pool`])
+//! the campaign runner uses to execute independent experiments concurrently.
 //!
 //! This crate is deliberately free of any architecture-specific knowledge: it
 //! provides the time base ([`time::Cycle`]), an ordered event queue
@@ -32,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod sharded;
 pub mod stats;

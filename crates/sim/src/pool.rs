@@ -1,0 +1,123 @@
+//! A small deterministic fork-join executor for independent jobs.
+//!
+//! This is the second parallelism layer of the reproduction: [`sharded`]
+//! parallelises *inside* one simulation (shards in lock-step epochs), while
+//! this module parallelises *across* independent simulations — the campaign
+//! runner's experiment cells, each a pure function of its spec. Jobs are
+//! claimed from a shared atomic index (work stealing in its simplest form:
+//! whoever finishes early takes the next unclaimed job), so an uneven mix of
+//! cheap and expensive cells still keeps every worker busy.
+//!
+//! Determinism contract: the result vector is indexed by job, never by
+//! completion order, so the output of [`run_indexed`] is identical for every
+//! worker count — including `jobs = 1`, which runs inline on the calling
+//! thread with no pool at all. Callers may therefore treat the worker count
+//! as a pure wall-clock knob, exactly like [`sharded`]'s
+//! [`ExecMode`](crate::sharded::ExecMode).
+//!
+//! [`sharded`]: crate::sharded
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `count` independent jobs on up to `jobs` worker threads and returns
+/// their results in job order.
+///
+/// `f` is invoked exactly once per index in `0..count`, from an unspecified
+/// thread. `jobs = 0` means "auto": the host's [`auto_jobs`]. With one
+/// effective worker (or fewer than two jobs) everything runs inline on the
+/// calling thread in index order. A panicking job propagates the panic to
+/// the caller (the pool is a [`std::thread::scope`]).
+///
+/// ```
+/// let squares = cni_sim::pool::run_indexed(4, 8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_indexed<R, F>(jobs: usize, count: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let jobs = if jobs == 0 { auto_jobs() } else { jobs };
+    let workers = jobs.min(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Claim-execute-deposit: batching deposits per worker would
+                // save lock traffic, but jobs here are whole simulations —
+                // milliseconds to seconds each — so one uncontended lock per
+                // job is noise, and depositing immediately keeps a panic in
+                // one job from discarding its siblings' finished work.
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= count {
+                        break;
+                    }
+                    let result = f(index);
+                    done.lock().unwrap().push((index, result));
+                }
+            });
+        }
+    });
+    let mut done = done.into_inner().unwrap();
+    done.sort_unstable_by_key(|&(index, _)| index);
+    debug_assert_eq!(done.len(), count);
+    done.into_iter().map(|(_, result)| result).collect()
+}
+
+/// The worker count [`run_indexed`] resolves `jobs = 0` ("auto") to: the
+/// host's available parallelism, or 1 when unknown.
+pub fn auto_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_job_order_for_every_worker_count() {
+        let reference: Vec<usize> = (0..37).map(|i| i * 3 + 1).collect();
+        for jobs in [0, 1, 2, 4, 16, 64] {
+            let got = run_indexed(jobs, 37, |i| i * 3 + 1);
+            assert_eq!(got, reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let results = run_indexed(8, 100, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_count_are_fine() {
+        let empty: Vec<usize> = run_indexed(4, 0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(run_indexed(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn a_panicking_job_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(4, 8, |i| {
+                if i == 5 {
+                    panic!("job 5 exploded");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -24,4 +24,4 @@ pub mod moldyn;
 pub mod registry;
 pub mod spsolve;
 
-pub use registry::{Workload, WorkloadParams};
+pub use registry::{ParamsTier, UnknownTier, UnknownWorkload, Workload, WorkloadParams};

@@ -48,10 +48,11 @@ impl Workload {
         }
     }
 
-    /// Parses a benchmark name (case-insensitive).
+    /// Parses a benchmark name (case-insensitive, surrounding whitespace
+    /// ignored). For an error that lists the valid names — what a CLI should
+    /// print — use the [`std::str::FromStr`] impl instead.
     pub fn parse(name: &str) -> Option<Workload> {
-        let lower = name.to_ascii_lowercase();
-        Workload::ALL.into_iter().find(|w| w.name() == lower)
+        name.parse().ok()
     }
 
     /// The key communication pattern (Table 3's middle column).
@@ -80,6 +81,135 @@ impl Workload {
 impl std::fmt::Display for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Error returned when a string names no known workload. Its [`Display`]
+/// lists the valid names, so harness binaries can surface it verbatim
+/// instead of a bare usage error.
+///
+/// [`Display`]: std::fmt::Display
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The string that failed to parse.
+    pub input: String,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown workload {:?}; valid workloads: ", self.input)?;
+        for (i, w) in Workload::ALL.into_iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(w.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+impl std::str::FromStr for Workload {
+    type Err = UnknownWorkload;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        Workload::ALL
+            .into_iter()
+            .find(|w| w.name() == lower)
+            .ok_or_else(|| UnknownWorkload {
+                input: s.to_owned(),
+            })
+    }
+}
+
+/// The three input-size tiers every harness understands: `quick` for smoke
+/// runs, `scaled` for the DESIGN.md scaled-down defaults (what tests and the
+/// generated `RESULTS.md` use), `paper` for the full Table 3 inputs.
+///
+/// A tier bundles the [`WorkloadParams`] with the machine size the
+/// macrobenchmarks run at, so a campaign cell is fully specified by
+/// `(workload, NI, bus, tier)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ParamsTier {
+    /// Tiny inputs on an 8-node machine — seconds, for smoke tests.
+    Quick,
+    /// The scaled-down defaults on the paper's 16-node machine.
+    #[default]
+    Scaled,
+    /// The full Table 3 inputs on the paper's 16-node machine (slow).
+    Paper,
+}
+
+impl ParamsTier {
+    /// All tiers, smallest first.
+    pub const ALL: [ParamsTier; 3] = [ParamsTier::Quick, ParamsTier::Scaled, ParamsTier::Paper];
+
+    /// The tier's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamsTier::Quick => "quick",
+            ParamsTier::Scaled => "scaled",
+            ParamsTier::Paper => "paper",
+        }
+    }
+
+    /// The workload parameters this tier runs.
+    pub fn params(self) -> WorkloadParams {
+        match self {
+            ParamsTier::Quick => WorkloadParams::tiny(),
+            ParamsTier::Scaled => WorkloadParams::scaled(),
+            ParamsTier::Paper => WorkloadParams::paper(),
+        }
+    }
+
+    /// The machine size the macrobenchmarks use at this tier.
+    pub fn nodes(self) -> usize {
+        match self {
+            ParamsTier::Quick => 8,
+            ParamsTier::Scaled | ParamsTier::Paper => 16,
+        }
+    }
+}
+
+impl std::fmt::Display for ParamsTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a string names no known [`ParamsTier`]; the
+/// [`Display`](std::fmt::Display) lists the valid tiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTier {
+    /// The string that failed to parse.
+    pub input: String,
+}
+
+impl std::fmt::Display for UnknownTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown input tier {:?}; valid tiers: quick, scaled, paper",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for UnknownTier {}
+
+impl std::str::FromStr for ParamsTier {
+    type Err = UnknownTier;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        ParamsTier::ALL
+            .into_iter()
+            .find(|t| t.name() == lower)
+            .ok_or_else(|| UnknownTier {
+                input: s.to_owned(),
+            })
     }
 }
 
@@ -157,9 +287,37 @@ mod tests {
         for w in Workload::ALL {
             assert_eq!(Workload::parse(w.name()), Some(w));
             assert_eq!(Workload::parse(&w.name().to_uppercase()), Some(w));
+            assert_eq!(Workload::parse(&format!("  {} ", w.name())), Some(w));
             assert!(!w.communication().is_empty());
         }
         assert_eq!(Workload::parse("linpack"), None);
+    }
+
+    #[test]
+    fn unknown_workload_error_lists_every_valid_name() {
+        let err = "linpack".parse::<Workload>().unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("\"linpack\""), "{message}");
+        for w in Workload::ALL {
+            assert!(
+                message.contains(w.name()),
+                "error must list {}: {message}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tiers_parse_and_carry_their_inputs() {
+        for tier in ParamsTier::ALL {
+            assert_eq!(tier.name().parse::<ParamsTier>().unwrap(), tier);
+            assert!(tier.nodes() >= 8);
+        }
+        assert_eq!("QUICK".parse::<ParamsTier>().unwrap(), ParamsTier::Quick);
+        assert_eq!(ParamsTier::Scaled.params(), WorkloadParams::scaled());
+        assert_eq!(ParamsTier::Paper.params(), WorkloadParams::paper());
+        let err = "huge".parse::<ParamsTier>().unwrap_err();
+        assert!(err.to_string().contains("quick, scaled, paper"));
     }
 
     #[test]
