@@ -1,23 +1,29 @@
 //! Scaling sweep: machine sizes × shard counts, sequential and parallel.
 //!
 //! The paper evaluates 16-node machines; this harness drives the sharded
-//! execution model past that — 16/64/256 (and with `--big` 1024) nodes — and
+//! execution model past that — 16/64/256 (and with `big` 1024) nodes — and
 //! records, per configuration, the simulated result digest and the
 //! simulator's own wall-clock. Simulated results are **bit-identical across
 //! shard counts and execution modes** (the run fails loudly if they are
 //! not); only the wall-clock column varies.
 //!
 //! Run with `cargo run --release -p cni-bench --bin scaling -- [quick|big]
-//! [--json] [--ci]`.
+//! [--workload NAME] [--json] [--ci]`.
 //!
-//! * `quick` sweeps 16/64 nodes with a smaller graph; `big` adds 1024 nodes.
+//! * `quick` sweeps 16/64 nodes with smaller inputs; `big` adds 1024 nodes.
+//! * `--workload` picks the workload swept (default em3d, the ROADMAP
+//!   trajectory workload). Every workload in [`CI_WORKLOADS`] weak-scales
+//!   with the machine: inputs grow proportionally to the node count.
 //! * `--json` emits the sweep in the same trajectory format as `fig8 --json`.
 //! * `--ci` runs the 64-node / 4-shard smoke configuration (sequential
-//!   1-shard, sequential 4-shard, parallel 4-shard), verifies the three
-//!   digests agree and nothing aborted, and prints the single reference
-//!   digest line that CI diffs against `SCALING_ref.txt`.
+//!   1-shard, sequential 4-shard, parallel 4-shard, plus whatever
+//!   `ShardPolicy::Auto` resolves to) **for every CI workload** — em3d and
+//!   the four workloads this repo added beyond the paper's figures — and
+//!   prints one reference digest line per workload; CI diffs the block
+//!   against `SCALING_ref.txt`, so sharded bit-identity is pinned across
+//!   communication patterns, not just em3d's.
 //!
-//! The workload is em3d (fine-grain messaging) with the graph scaled
+//! The default workload is em3d (fine-grain messaging) with the graph scaled
 //! proportionally to the machine — weak scaling, so the event population per
 //! epoch grows with the node count, which is exactly the regime the sharded
 //! loop (and PR 1's timing wheel) is built for.
@@ -29,12 +35,50 @@ use cni_core::machine::{Machine, MachineConfig, RunReport, ShardPolicy};
 use cni_nic::taxonomy::NiKind;
 use cni_workloads::{Workload, WorkloadParams};
 
-/// em3d scaled so every machine node owns the same share of the graph.
-fn scaling_params(nodes: usize, quick: bool) -> WorkloadParams {
+/// The workloads whose sharded determinism digests CI pins: the trajectory
+/// workload plus the macrobenchmarks and the synthetic pattern added beyond
+/// the original five, each with a different communication shape (fine-grain
+/// graph, request/response hotspot, variable-size ring, irregular halo,
+/// synthetic convergence).
+const CI_WORKLOADS: [Workload; 5] = [
+    Workload::Em3d,
+    Workload::Barnes,
+    Workload::Dsmc,
+    Workload::Unstructured,
+    Workload::Hotspot,
+];
+
+/// Inputs weak-scaled so every machine node owns the same share of the
+/// workload regardless of the machine size.
+fn scaling_params(workload: Workload, nodes: usize, quick: bool) -> WorkloadParams {
     let mut params = WorkloadParams::tiny();
-    params.em3d.graph_nodes = nodes * if quick { 8 } else { 32 };
-    params.em3d.degree = 5;
-    params.em3d.iterations = if quick { 4 } else { 25 };
+    match workload {
+        Workload::Em3d => {
+            params.em3d.graph_nodes = nodes * if quick { 8 } else { 32 };
+            params.em3d.degree = 5;
+            params.em3d.iterations = if quick { 4 } else { 25 };
+        }
+        Workload::Barnes => {
+            params.barnes.bodies = nodes * if quick { 4 } else { 16 };
+            params.barnes.iterations = if quick { 2 } else { 6 };
+        }
+        Workload::Dsmc => {
+            params.dsmc.cells = nodes * if quick { 4 } else { 16 };
+            params.dsmc.iterations = if quick { 3 } else { 10 };
+        }
+        Workload::Unstructured => {
+            params.unstructured.mesh_nodes = nodes * if quick { 8 } else { 32 };
+            params.unstructured.iterations = if quick { 2 } else { 8 };
+        }
+        Workload::Hotspot => {
+            // messages_per_phase is already per node, so the pattern
+            // weak-scales by construction; just lengthen the run.
+            params.hotspot.phases = if quick { 3 } else { 8 };
+        }
+        // Any other workload runs its tiny inputs unscaled — fine for a
+        // one-off sweep, but the CI set above is the weak-scaled one.
+        _ => {}
+    }
     params
 }
 
@@ -47,11 +91,23 @@ struct Row {
     wall_seconds: f64,
 }
 
-fn run_one(nodes: usize, shards: usize, parallel: bool, quick: bool) -> (RunReport, Row) {
-    run_policy(nodes, ShardPolicy::Fixed(shards), parallel, quick)
+fn run_one(
+    workload: Workload,
+    nodes: usize,
+    shards: usize,
+    parallel: bool,
+    quick: bool,
+) -> (RunReport, Row) {
+    run_policy(workload, nodes, ShardPolicy::Fixed(shards), parallel, quick)
 }
 
-fn run_policy(nodes: usize, policy: ShardPolicy, parallel: bool, quick: bool) -> (RunReport, Row) {
+fn run_policy(
+    workload: Workload,
+    nodes: usize,
+    policy: ShardPolicy,
+    parallel: bool,
+    quick: bool,
+) -> (RunReport, Row) {
     let cfg = MachineConfig::isca96(nodes, NiKind::Cni512Q)
         .with_shards(policy)
         .with_parallel(parallel);
@@ -62,15 +118,15 @@ fn run_policy(nodes: usize, policy: ShardPolicy, parallel: bool, quick: bool) ->
         (_, true) => "par",
         (_, false) => "seq",
     };
-    let params = scaling_params(nodes, quick);
-    let programs = Workload::Em3d.programs(nodes, &params);
+    let params = scaling_params(workload, nodes, quick);
+    let programs = workload.programs(nodes, &params);
     let mut machine = Machine::new(cfg, programs);
     let started = Instant::now();
     let report = machine.run();
     let wall_seconds = started.elapsed().as_secs_f64();
     if report.aborted {
         eprintln!(
-            "scaling: em3d at {nodes} nodes / {shards} shards hit the cycle limit — aborting"
+            "scaling: {workload} at {nodes} nodes / {shards} shards hit the cycle limit — aborting"
         );
         std::process::exit(1);
     }
@@ -85,7 +141,7 @@ fn run_policy(nodes: usize, policy: ShardPolicy, parallel: bool, quick: bool) ->
     (report, row)
 }
 
-fn sweep(node_counts: &[usize], quick: bool) -> Vec<Row> {
+fn sweep(workload: Workload, node_counts: &[usize], quick: bool) -> Vec<Row> {
     let mut rows = Vec::new();
     for &nodes in node_counts {
         let mut reference: Option<RunReport> = None;
@@ -99,13 +155,13 @@ fn sweep(node_counts: &[usize], quick: bool) -> Vec<Row> {
                 &[false, true]
             };
             for &parallel in modes {
-                let (report, row) = run_one(nodes, shards, parallel, quick);
+                let (report, row) = run_one(workload, nodes, shards, parallel, quick);
                 match &reference {
                     None => reference = Some(report),
                     Some(reference) => {
                         if report != *reference {
                             eprintln!(
-                                "scaling: {nodes}-node run with {shards} shards ({}) \
+                                "scaling: {workload} {nodes}-node run with {shards} shards ({}) \
                                  diverged from the 1-shard reference — determinism bug",
                                 row.mode
                             );
@@ -118,11 +174,11 @@ fn sweep(node_counts: &[usize], quick: bool) -> Vec<Row> {
         }
         // What ShardPolicy::Auto picks on this host, digest-checked like
         // every other configuration.
-        let (report, row) = run_policy(nodes, ShardPolicy::Auto, false, quick);
+        let (report, row) = run_policy(workload, nodes, ShardPolicy::Auto, false, quick);
         if let Some(reference) = &reference {
             if report != *reference {
                 eprintln!(
-                    "scaling: {nodes}-node auto run ({} shards, {}) diverged \
+                    "scaling: {workload} {nodes}-node auto run ({} shards, {}) diverged \
                      from the 1-shard reference — determinism bug",
                     row.shards, row.mode
                 );
@@ -147,9 +203,9 @@ fn rows_json(rows: &[Row]) -> String {
     body.join(",")
 }
 
-fn print_table(rows: &[Row]) {
+fn print_table(workload: Workload, rows: &[Row]) {
     println!(
-        "Scaling sweep: em3d, CNI512Q, weak-scaled graph (digest is the simulated-result hash)"
+        "Scaling sweep: {workload}, CNI512Q, weak-scaled inputs (digest is the simulated-result hash)"
     );
     println!(
         "{:>7} {:>7} {:>5} {:>14} {:>18} {:>10}",
@@ -165,36 +221,38 @@ fn print_table(rows: &[Row]) {
     println!("simulator-performance knob, never a results knob.");
 }
 
-/// The CI smoke configuration: 64 nodes, 1-vs-4 shards, both modes, plus
-/// whatever `ShardPolicy::Auto` resolves to on the CI host.
+/// The CI smoke configuration, per workload: 64 nodes, 1-vs-4 shards, both
+/// modes, plus whatever `ShardPolicy::Auto` resolves to on the CI host.
 fn run_ci() {
     let quick = true;
-    let (reference, base) = run_one(64, 1, false, quick);
-    for (shards, parallel) in [(4usize, false), (4, true)] {
-        let (report, row) = run_one(64, shards, parallel, quick);
+    for workload in CI_WORKLOADS {
+        let (reference, base) = run_one(workload, 64, 1, false, quick);
+        for (shards, parallel) in [(4usize, false), (4, true)] {
+            let (report, row) = run_one(workload, 64, shards, parallel, quick);
+            if report != reference {
+                eprintln!(
+                    "scaling --ci: {workload} 64-node run with {shards} shards ({}) diverged \
+                     from the 1-shard reference — determinism bug",
+                    row.mode
+                );
+                std::process::exit(1);
+            }
+        }
+        let (report, row) = run_policy(workload, 64, ShardPolicy::Auto, false, quick);
         if report != reference {
             eprintln!(
-                "scaling --ci: 64-node run with {shards} shards ({}) diverged from \
-                 the 1-shard reference — determinism bug",
-                row.mode
+                "scaling --ci: {workload} 64-node auto run ({} shards, {}) diverged from the \
+                 1-shard reference — determinism bug",
+                row.shards, row.mode
             );
             std::process::exit(1);
         }
+        // One line per workload; CI pins the whole block in SCALING_ref.txt.
+        println!("scaling-digest {workload} 64n {:016x}", base.digest);
     }
-    let (report, row) = run_policy(64, ShardPolicy::Auto, false, quick);
-    if report != reference {
-        eprintln!(
-            "scaling --ci: 64-node auto run ({} shards, {}) diverged from the \
-             1-shard reference — determinism bug",
-            row.shards, row.mode
-        );
-        std::process::exit(1);
-    }
-    // The single line CI pins against SCALING_ref.txt.
-    println!("scaling-digest em3d 64n {:016x}", base.digest);
 }
 
-const USAGE: &str = "scaling [quick|big] [--json] [--ci]";
+const USAGE: &str = "scaling [quick|big] [--workload NAME] [--json] [--ci]";
 
 fn usage_error(message: &str) -> ! {
     cni_bench::cli::usage_error(USAGE, message);
@@ -204,18 +262,35 @@ fn main() {
     let mut json = false;
     let mut ci = false;
     let mut mode: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut workload: Option<Workload> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--ci" => ci = true,
+            "--workload" => match args.next() {
+                Some(name) => match name.parse::<Workload>() {
+                    Ok(w) => workload = Some(w),
+                    Err(err) => usage_error(&err.to_string()),
+                },
+                None => usage_error("--workload takes a benchmark name"),
+            },
             "quick" | "big" | "scaled" if mode.is_none() => mode = Some(arg),
             other => usage_error(&format!("unrecognized argument {other:?}")),
         }
     }
     if ci {
+        if workload.is_some() || json || mode.is_some() {
+            usage_error(
+                "--ci runs its fixed smoke configuration (quick inputs, 64 nodes, \
+                 em3d/barnes/dsmc/unstructured/hotspot) and prints the digest block \
+                 CI pins; it cannot be combined with a mode, --workload or --json",
+            );
+        }
         run_ci();
         return;
     }
+    let workload = workload.unwrap_or(Workload::Em3d);
     let mode = mode.as_deref().unwrap_or("scaled");
     let (node_counts, quick): (&[usize], bool) = match mode {
         "quick" => (&[16, 64], true),
@@ -225,16 +300,16 @@ fn main() {
     };
 
     let started = Instant::now();
-    let rows = sweep(node_counts, quick);
+    let rows = sweep(workload, node_counts, quick);
     let wall_seconds = started.elapsed().as_secs_f64();
 
     if json {
         println!(
-            r#"{{"experiment":"scaling","workload":"em3d","mode":"{mode}","wall_seconds":{wall_seconds:.3},"rows":[{}]}}"#,
+            r#"{{"experiment":"scaling","workload":"{workload}","mode":"{mode}","wall_seconds":{wall_seconds:.3},"rows":[{}]}}"#,
             rows_json(&rows)
         );
     } else {
-        print_table(&rows);
+        print_table(workload, &rows);
         println!("\nharness wall time: {wall_seconds:.2}s");
     }
 }

@@ -221,6 +221,64 @@ fn barrier_skipping_layouts_match_single_for_every_ni() {
     }
 }
 
+/// The workloads this PR added beyond the original five — the restored
+/// paper macrobenchmarks (request/response barnes, variable-size-ring dsmc,
+/// irregular-halo unstructured) and one synthetic pattern (hotspot
+/// convergence) — shard bit-identically too: 1-shard sequential vs N-shard
+/// sequential vs N-shard parallel vs `Auto`, for every NI kind, with
+/// randomized machine/shard shapes in the house style.
+#[test]
+fn new_workloads_shard_bit_identically() {
+    let mut rng = DetRng::new(0x6E77_3713);
+    let workloads = [
+        Workload::Barnes,
+        Workload::Dsmc,
+        Workload::Unstructured,
+        Workload::Hotspot,
+    ];
+    for kind in NiKind::ALL {
+        for &workload in &workloads {
+            let nodes = 4 + rng.gen_index(7); // 4..=10
+            let shards = 2 + rng.gen_index(3); // 2..=4
+            let params = WorkloadParams::tiny();
+            let case = format!("{kind}/{workload}: {nodes} nodes, {shards} shards");
+
+            let reference = run(MachineConfig::isca96(nodes, kind), workload, &params);
+            assert!(reference.completed, "{case}: reference did not complete");
+            assert!(
+                reference.fabric.messages > 0,
+                "{case}: the case must exercise real network traffic"
+            );
+
+            let sequential = run(
+                MachineConfig::isca96(nodes, kind).with_shards(ShardPolicy::Fixed(shards)),
+                workload,
+                &params,
+            );
+            assert_eq!(
+                sequential, reference,
+                "{case}: sequential N-shard run diverged"
+            );
+
+            let parallel = run(
+                MachineConfig::isca96(nodes, kind)
+                    .with_shards(ShardPolicy::Fixed(shards))
+                    .with_parallel(true),
+                workload,
+                &params,
+            );
+            assert_eq!(parallel, reference, "{case}: parallel N-shard run diverged");
+
+            let auto = run(
+                MachineConfig::isca96(nodes, kind).with_shards(ShardPolicy::Auto),
+                workload,
+                &params,
+            );
+            assert_eq!(auto, reference, "{case}: Auto layout diverged");
+        }
+    }
+}
+
 /// `NodesPerShard` partitions (the "contiguous node group" policy) behave
 /// exactly like their `Fixed` equivalents.
 #[test]
