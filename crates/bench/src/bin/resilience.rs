@@ -1,0 +1,37 @@
+//! The resilience sweep: every NI on the memory bus under increasing
+//! deterministic fault injection (drop / corrupt / duplicate / delay plus
+//! outage windows via `cni_net::faults`), recovered by the reliable-delivery
+//! NI protocol — goodput versus loss rate, the figure the paper couldn't
+//! draw. A thin front-end over
+//! [`cni_bench::campaign::figures::resilience_campaign`].
+//!
+//! Run with `cargo run --release -p cni-bench --bin resilience --
+//! [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR]
+//! [--json]`.
+
+use cni_bench::campaign::figures::{render_markdown, resilience_campaign};
+use cni_bench::campaign::{run_campaign, set_json};
+use cni_bench::cli::{usage_error, CampaignCli};
+
+const USAGE: &str = "resilience [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] \
+                     [--cache DIR] [--json] [--backend heap|wheel (implies --cold)]";
+
+fn main() {
+    let cli = CampaignCli::parse(USAGE);
+    cli.reject_rest(USAGE);
+    if !cli.workloads.is_empty() {
+        usage_error(
+            USAGE,
+            "resilience sweeps a fixed workload subset; it takes no --workload",
+        );
+    }
+    let campaign = resilience_campaign(cli.tier);
+    let run = run_campaign(&campaign, &cli.run_options());
+    if cli.json {
+        println!("{}", set_json(&run, "resilience", ""));
+        return;
+    }
+    println!("## {}\n", run.campaigns[0].title);
+    print!("{}", render_markdown(&run.campaigns[0]));
+    println!("\n{}", CampaignCli::summary_line(&run));
+}

@@ -10,6 +10,7 @@
 //! | Figure 8 (macro speedups, §5.2)       | [`fig8_campaign`] | [`render_markdown`] |
 //! | §5.2 bus-occupancy reduction          | [`occupancy_campaign`] | [`render_markdown`] |
 //! | §2.2 CQ-optimisation ablation         | [`ablation_campaign`] | [`render_markdown`] |
+//! | Resilience sweep (fault injection)    | [`resilience_campaign`] | [`render_markdown`] |
 //! | Table 1 (taxonomy, §3)                | [`taxonomy_campaign`] | [`render_markdown`] |
 //!
 //! Definitions and renderers share the layout functions in this module, so
@@ -349,6 +350,55 @@ pub fn taxonomy_campaign(tier: ParamsTier) -> Campaign {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Resilience
+// ---------------------------------------------------------------------------
+
+/// The workload subset the resilience sweep covers: one fine-grain paper
+/// benchmark (em3d), one block-transfer benchmark (gauss) and one
+/// communication-heavy particle code (dsmc) — enough to see whether an NI's
+/// advantage survives a lossy fabric without sweeping all thirteen.
+pub const RESILIENCE_WORKLOADS: [Workload; 3] = [Workload::Em3d, Workload::Gauss, Workload::Dsmc];
+
+/// The loss intensities (in parts per million) the resilience sweep applies
+/// through [`cni_net::faults::FaultConfig::lossy`].
+fn resilience_rates(tier: ParamsTier) -> Vec<u32> {
+    match tier {
+        ParamsTier::Quick => vec![0, 20_000, 100_000],
+        ParamsTier::Scaled | ParamsTier::Paper => vec![0, 5_000, 20_000, 50_000, 100_000],
+    }
+}
+
+/// The resilience sweep: every NI on the memory bus under increasing
+/// deterministic fault intensity, recovered by the reliable-delivery
+/// protocol — the figure the paper couldn't draw. One cell per
+/// (workload, NI, rate); the zero-rate column doubles as the goodput
+/// baseline.
+pub fn resilience_campaign(tier: ParamsTier) -> Campaign {
+    let nodes = tier.nodes();
+    let mut cells = Vec::new();
+    for &workload in &RESILIENCE_WORKLOADS {
+        for ni in NiKind::ALL {
+            for &fault_ppm in &resilience_rates(tier) {
+                cells.push(ExperimentSpec::Resilience {
+                    workload,
+                    ni,
+                    fault_ppm,
+                    nodes,
+                    tier,
+                });
+            }
+        }
+    }
+    Campaign {
+        name: "resilience",
+        title: "Resilience — goodput under deterministic fault injection".to_owned(),
+        tier,
+        workloads: RESILIENCE_WORKLOADS.to_vec(),
+        cells,
+    }
+}
+
 /// Every campaign `report` runs, in `RESULTS.md` order.
 pub fn report_campaigns(tier: ParamsTier, workloads: &[Workload]) -> Vec<Campaign> {
     vec![
@@ -357,6 +407,7 @@ pub fn report_campaigns(tier: ParamsTier, workloads: &[Workload]) -> Vec<Campaig
         fig8_campaign(tier, workloads),
         occupancy_campaign(tier, workloads),
         ablation_campaign(tier),
+        resilience_campaign(tier),
         taxonomy_campaign(tier),
     ]
 }
@@ -609,6 +660,93 @@ fn render_ablation(run: &CampaignRun) -> String {
     out
 }
 
+fn render_resilience(run: &CampaignRun) -> String {
+    let cells = parsed_cells(run);
+    let rates = resilience_rates(run.tier);
+    let mut out = format!(
+        "Goodput under deterministic fault injection (drop / corrupt / duplicate / \
+         delay via the `lossy` preset, recovered by the reliable-delivery NI \
+         protocol), relative to the same NI's fault-free run — every NI on the \
+         memory bus, {} nodes, `{}` inputs. 1.00 means losses cost nothing; lower \
+         means retransmission latency and duplicate traffic ate into delivered \
+         throughput.\n",
+        run.tier.nodes(),
+        run.tier
+    );
+    // Cells are (workload, ni, rate)-major; each workload's table wants
+    // rates down, NIs across.
+    let mut index = 0;
+    let mut accounting: Vec<Vec<String>> = Vec::new();
+    for &workload in &run.workloads {
+        out.push_str(&format!("\n### {workload}\n\n"));
+        let mut header = vec!["loss rate".to_owned()];
+        header.extend(NiKind::ALL.iter().map(ToString::to_string));
+        let mut columns: Vec<Vec<f64>> = Vec::new();
+        for ni in NiKind::ALL {
+            let per_rate: Vec<&Json> = rates
+                .iter()
+                .map(|_| {
+                    let cell = &cells[index];
+                    index += 1;
+                    cell
+                })
+                .collect();
+            let baseline = per_rate[0].num("cycles").max(1.0);
+            columns.push(
+                per_rate
+                    .iter()
+                    .map(|c| baseline / c.num("cycles").max(1.0))
+                    .collect(),
+            );
+            // The top-rate cell feeds the fault-accounting table below.
+            let top = per_rate.last().expect("at least one rate per series");
+            accounting.push(vec![
+                workload.to_string(),
+                ni.to_string(),
+                format!("{:.0}", top.num("messages")),
+                format!("{:.0}", top.num("faults_dropped")),
+                format!("{:.0}", top.num("corruptions_detected")),
+                format!("{:.0}", top.num("dup_discards")),
+                format!("{:.0}", top.num("retransmits")),
+                format!("{:.0}", top.num("timeouts")),
+            ]);
+        }
+        let rows: Vec<Vec<String>> = rates
+            .iter()
+            .enumerate()
+            .map(|(row, &ppm)| {
+                let mut cols = vec![format!("{:.1}%", ppm as f64 / 10_000.0)];
+                cols.extend(columns.iter().map(|c| format!("{:.3}", c[row])));
+                cols
+            })
+            .collect();
+        md_table(&mut out, &header, &rows);
+    }
+    out.push_str(&format!(
+        "\n### Fault accounting at the top rate ({:.1}% loss)\n\n",
+        *rates.last().unwrap_or(&0) as f64 / 10_000.0
+    ));
+    let header: Vec<String> = [
+        "benchmark",
+        "NI",
+        "wire msgs",
+        "dropped",
+        "corrupted",
+        "dup discards",
+        "retransmits",
+        "timeouts",
+    ]
+    .map(str::to_owned)
+    .to_vec();
+    md_table(&mut out, &header, &accounting);
+    out.push_str(
+        "\nEvery number above is deterministic: fault verdicts are a pure function \
+         of `(seed, origin, net_seq)`, so the sweep is bit-identical across shard \
+         policies, executor modes and hosts.\n",
+    );
+    out
+}
+
 fn render_taxonomy(run: &CampaignRun) -> String {
     let cells = parsed_cells(run);
     let rows_json = cells[0].get("rows").and_then(Json::as_array).unwrap_or(&[]);
@@ -724,6 +862,7 @@ pub fn render_markdown(run: &CampaignRun) -> String {
         "fig8" => render_fig8(run),
         "occupancy" => render_occupancy(run),
         "ablation" => render_ablation(run),
+        "resilience" => render_resilience(run),
         "taxonomy" => render_taxonomy(run),
         other => panic!("no renderer for campaign {other:?}"),
     }
@@ -784,6 +923,15 @@ mod tests {
         let occupancy = occupancy_campaign(ParamsTier::Quick, &Workload::ALL);
         assert_eq!(occupancy.cells.len(), workloads * 5);
         assert_eq!(ablation_campaign(ParamsTier::Quick).cells.len(), 5);
+        // 3 workloads × 5 NIs × 3 quick rates (5 rates at scaled/paper).
+        assert_eq!(
+            resilience_campaign(ParamsTier::Quick).cells.len(),
+            3 * 5 * 3
+        );
+        assert_eq!(
+            resilience_campaign(ParamsTier::Scaled).cells.len(),
+            3 * 5 * 5
+        );
         assert_eq!(taxonomy_campaign(ParamsTier::Quick).cells.len(), 1);
     }
 

@@ -173,21 +173,53 @@ fn cache_path(dir: &Path, digest: u64) -> PathBuf {
     dir.join(format!("{digest:016x}.json"))
 }
 
-/// Reads a cached result, treating unreadable or non-JSON content as a miss.
+/// The envelope prefix of a cache entry for `digest`; the result's exact
+/// bytes follow, then a closing `}`.
+fn cache_envelope_prefix(digest: u64) -> String {
+    format!(r#"{{"digest":"{digest:016x}","result":"#)
+}
+
+/// Reads a cached result, validating the entry end to end: it must parse as
+/// JSON, carry the envelope of exactly this digest (so a renamed or
+/// cross-copied file can never serve the wrong cell) and not be truncated.
+/// Anything else — a torn write that slipped past the atomic rename, disk
+/// corruption, a stale pre-envelope entry — is reported once and treated as
+/// a miss, so the cell re-runs and the entry is rewritten; a corrupted
+/// entry is never propagated into results.
 fn cache_read(dir: &Path, digest: u64) -> Option<String> {
-    let text = std::fs::read_to_string(cache_path(dir, digest)).ok()?;
-    crate::json::Json::parse(&text).ok()?;
-    Some(text)
+    let path = cache_path(dir, digest);
+    let text = std::fs::read_to_string(&path).ok()?;
+    let valid = || -> Option<String> {
+        let prefix = cache_envelope_prefix(digest);
+        let inner = text.strip_prefix(prefix.as_str())?.strip_suffix('}')?;
+        // The envelope pins the digest textually; parsing the whole entry
+        // rejects truncated or garbled result bytes.
+        crate::json::Json::parse(&text).ok()?;
+        crate::json::Json::parse(inner).ok()?;
+        Some(inner.to_owned())
+    };
+    match valid() {
+        Some(inner) => Some(inner),
+        None => {
+            eprintln!(
+                "campaign: discarding corrupt cache entry {} (re-running the cell)",
+                path.display()
+            );
+            None
+        }
+    }
 }
 
 /// Best-effort cache write: the cache is an optimisation, so failures warn
-/// instead of aborting the run. Entries appear atomically (temp file +
-/// rename) so a concurrent harness binary sharing the cache directory can
-/// never read a torn entry.
+/// instead of aborting the run. The result is wrapped in a digest envelope
+/// (see [`cache_read`]) and entries appear atomically (temp file + rename)
+/// so a concurrent harness binary sharing the cache directory can never
+/// read a torn entry.
 fn cache_write(dir: &Path, digest: u64, json: &str) {
     let path = cache_path(dir, digest);
     let tmp = dir.join(format!("{digest:016x}.tmp.{}", std::process::id()));
-    let result = std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, &path));
+    let entry = format!("{}{json}}}", cache_envelope_prefix(digest));
+    let result = std::fs::write(&tmp, entry).and_then(|()| std::fs::rename(&tmp, &path));
     if let Err(err) = result {
         let _ = std::fs::remove_file(&tmp);
         eprintln!(
@@ -209,12 +241,16 @@ pub fn run_campaigns(campaigns: &[Campaign], opts: &RunOptions) -> CampaignSetRu
 
     // 1. Digest every cell; collect distinct specs in first-seen order so
     //    execution order (and therefore `--jobs 1` behaviour) is stable.
+    //    `owner` remembers which campaign first contributed each digest, so
+    //    a panicking cell can be attributed in its panic message.
     let mut slot_of: HashMap<u64, usize> = HashMap::new();
+    let mut owner: HashMap<u64, &'static str> = HashMap::new();
     let mut unique: Vec<(u64, ExperimentSpec)> = Vec::new();
     for campaign in campaigns {
         for spec in &campaign.cells {
             let digest = spec.digest();
             slot_of.entry(digest).or_insert_with(|| {
+                owner.insert(digest, campaign.name);
                 unique.push((digest, *spec));
                 unique.len() - 1
             });
@@ -244,7 +280,24 @@ pub fn run_campaigns(campaigns: &[Campaign], opts: &RunOptions) -> CampaignSetRu
         .collect();
     let executed = pending.len();
     let fresh = cni_sim::pool::run_indexed(opts.jobs, pending.len(), |i| {
-        unique[pending[i]].1.execute(&opts.knobs)
+        let (digest, spec) = unique[pending[i]];
+        // A cell that dies (a workload bug, an aborted run) would otherwise
+        // surface as a bare worker-thread panic with no hint of which of
+        // the hundreds of cells it was; re-raise with campaign, cell and
+        // cache-key context attached.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.execute(&opts.knobs)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                panic!(
+                    "campaign {:?} cell {} (digest {digest:016x}) panicked: {msg}",
+                    owner[&digest],
+                    spec.label()
+                )
+            })
     });
     if let Some(dir) = write_dir {
         if !fresh.is_empty() {

@@ -21,6 +21,7 @@ use cni_core::machine::{MachineConfig, ShardPolicy};
 use cni_core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
 use cni_mem::system::DeviceLocation;
 use cni_mem::timing::TimingConfig;
+use cni_net::faults::FaultConfig;
 use cni_nic::cq_model::CqOptimizations;
 use cni_nic::taxonomy::{NiKind, QueueHome, QueuePointers};
 use cni_sim::event::QueueBackend;
@@ -115,10 +116,33 @@ pub enum ExperimentSpec {
         /// Messages streamed.
         messages: usize,
     },
+    /// One point of the resilience sweep: `workload` on an `nodes`-node
+    /// machine with `ni` on the memory bus, under the
+    /// [`cni_net::faults::FaultConfig::lossy`] preset at `fault_ppm` parts
+    /// per million, recovered by the reliable-delivery protocol. The result
+    /// carries cycles, wire traffic and the fault-accounting counters, so
+    /// one cell serves both the goodput and the accounting panels.
+    Resilience {
+        /// The benchmark.
+        workload: Workload,
+        /// Network interface.
+        ni: NiKind,
+        /// Loss intensity in parts per million (the `lossy` preset derives
+        /// corruption, duplication and delay rates from it).
+        fault_ppm: u32,
+        /// Machine size in nodes.
+        nodes: usize,
+        /// Input-size tier.
+        tier: ParamsTier,
+    },
     /// The Table 1 taxonomy — pure data, no simulation; a cell so Table 1
     /// renders through the same pipeline as everything else.
     Taxonomy,
 }
+
+/// Seed of the resilience sweep's fault plans. One fixed constant: the sweep
+/// is a deterministic experiment, not a sampling exercise.
+pub const RESILIENCE_FAULT_SEED: u64 = 0x15CA_96C4_1F00;
 
 /// Canonical token for a bus location.
 pub fn location_token(location: DeviceLocation) -> &'static str {
@@ -200,6 +224,15 @@ impl ExperimentSpec {
             } => format!(
                 r#"{{"kind":"ablation","lazy_pointers":{},"valid_bits":{},"sense_reverse":{},"iterations":{iterations},"messages":{messages}}}"#,
                 opts.lazy_pointers, opts.valid_bits, opts.sense_reverse
+            ),
+            ExperimentSpec::Resilience {
+                workload,
+                ni,
+                fault_ppm,
+                nodes,
+                tier,
+            } => format!(
+                r#"{{"kind":"resilience","workload":"{workload}","ni":"{ni}","fault_ppm":{fault_ppm},"fault_seed":{RESILIENCE_FAULT_SEED},"nodes":{nodes},"tier":"{tier}"}}"#
             ),
             ExperimentSpec::Taxonomy => r#"{"kind":"taxonomy"}"#.to_owned(),
         }
@@ -310,6 +343,37 @@ impl ExperimentSpec {
                     latency.round_trip_micros, bandwidth.relative
                 )
             }
+            ExperimentSpec::Resilience {
+                workload,
+                ni,
+                fault_ppm,
+                nodes,
+                tier,
+            } => {
+                let mut cfg = tune(
+                    MachineConfig::isca96(nodes, ni)
+                        .with_faults(FaultConfig::lossy(RESILIENCE_FAULT_SEED, fault_ppm)),
+                );
+                // Fault-injected runs do strictly more work than clean ones;
+                // a generous-but-finite ceiling turns an unrecoverable cell
+                // into a loud abort (with pending-work diagnostics) instead
+                // of an unbounded hang.
+                cfg.max_cycles = 50_000_000;
+                let report = run_workload_report(workload, &cfg, &tier.params());
+                let f = report.fabric;
+                format!(
+                    r#"{{"cycles":{},"messages":{},"payload_bytes":{},"faults_dropped":{},"corruptions_detected":{},"dup_discards":{},"retransmits":{},"timeouts":{},"report_digest":"{:016x}"}}"#,
+                    report.cycles,
+                    f.messages,
+                    f.payload_bytes,
+                    f.faults_dropped,
+                    f.corruptions_detected,
+                    f.dup_discards,
+                    f.retransmits,
+                    f.timeouts,
+                    report_digest(&report)
+                )
+            }
             ExperimentSpec::Taxonomy => {
                 let rows: Vec<String> = NiKind::ALL
                     .into_iter()
@@ -377,6 +441,13 @@ impl ExperimentSpec {
                 "ablation/lazy={}/valid={}/sense={}",
                 opts.lazy_pointers, opts.valid_bits, opts.sense_reverse
             ),
+            ExperimentSpec::Resilience {
+                workload,
+                ni,
+                fault_ppm,
+                nodes,
+                tier,
+            } => format!("resilience/{workload}/{ni}/{fault_ppm}ppm/{nodes}n/{tier}"),
             ExperimentSpec::Taxonomy => "taxonomy".to_owned(),
         }
     }
@@ -458,6 +529,13 @@ mod tests {
                 opts: CqOptimizations::none(),
                 iterations: 2,
                 messages: 4,
+            },
+            ExperimentSpec::Resilience {
+                workload: Workload::Em3d,
+                ni: NiKind::Cni512Q,
+                fault_ppm: 20_000,
+                nodes: 8,
+                tier: ParamsTier::Quick,
             },
             ExperimentSpec::Taxonomy,
         ];

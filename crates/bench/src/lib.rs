@@ -26,6 +26,7 @@
 //! | §5.2 bus-occupancy reduction       | [`campaign::figures::occupancy_campaign`] | `cargo run --release -p cni-bench --bin occupancy` |
 //! | §2.2 CQ ablation                   | [`campaign::figures::ablation_campaign`]  | `cargo run --release -p cni-bench --bin ablation` |
 //! | Table 1 (taxonomy)                 | [`campaign::figures::taxonomy_campaign`]  | `cargo run --release -p cni-bench --bin taxonomy` |
+//! | Resilience sweep (beyond the paper) | [`campaign::figures::resilience_campaign`] | `cargo run --release -p cni-bench --bin resilience` |
 //!
 //! This crate root keeps only the shared primitives the campaigns, the
 //! harness binaries and the Criterion benches build on: the figure size
@@ -123,10 +124,11 @@ pub fn run_workload_report(
     assert!(
         !report.aborted,
         "{workload} on {} ({}) hit the cycle limit (max_cycles = {}) — \
-         results would be silently truncated",
+         results would be silently truncated; {}",
         cfg.ni_kind,
         location_name(cfg.device_location),
-        cfg.max_cycles
+        cfg.max_cycles,
+        report.pending_summary()
     );
     assert!(
         report.completed,

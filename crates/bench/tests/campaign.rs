@@ -8,7 +8,9 @@
 
 use std::path::PathBuf;
 
-use cni_bench::campaign::figures::{ablation_campaign, fig8_campaign, render_markdown};
+use cni_bench::campaign::figures::{
+    ablation_campaign, fig8_campaign, render_markdown, resilience_campaign,
+};
 use cni_bench::campaign::{
     run_campaign, run_campaigns, CacheMode, Campaign, ExperimentSpec, RunOptions,
 };
@@ -177,6 +179,134 @@ fn duplicate_specs_execute_once_within_a_set() {
         .collect();
     assert_eq!(jsons.len(), 3);
     assert!(jsons.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn corrupt_cache_entries_are_discarded_and_re_run() {
+    let scratch = ScratchCache::new("corrupt");
+    let campaign = ablation_campaign(ParamsTier::Quick);
+    let opts = RunOptions {
+        jobs: 1,
+        cache: CacheMode::ReadWrite(scratch.dir.clone()),
+        ..RunOptions::default()
+    };
+    let first = run_campaign(&campaign, &opts);
+    let reference: Vec<String> = first.campaigns[0]
+        .cells
+        .iter()
+        .map(|c| c.json.clone())
+        .collect();
+
+    // Damage the entries between runs, a different way each: truncation
+    // (torn write), garbage (disk corruption) and a digest-envelope
+    // mismatch (an entry copied or renamed onto the wrong cell's key).
+    let cells = &first.campaigns[0].cells;
+    let path = |digest: u64| scratch.dir.join(format!("{digest:016x}.json"));
+    let truncated = std::fs::read_to_string(path(cells[0].digest)).unwrap();
+    std::fs::write(path(cells[0].digest), &truncated[..truncated.len() / 2]).unwrap();
+    std::fs::write(path(cells[1].digest), "not json at all {{{").unwrap();
+    let other = std::fs::read_to_string(path(cells[3].digest)).unwrap();
+    std::fs::write(path(cells[2].digest), other).unwrap();
+
+    let second = run_campaign(&campaign, &opts);
+    assert_eq!(
+        second.executed, 3,
+        "exactly the three damaged cells re-run; the intact ones hit"
+    );
+    assert_eq!(second.cache_hits, second.unique_cells - 3);
+    for (cell, expected) in second.campaigns[0].cells.iter().zip(&reference) {
+        assert_eq!(
+            &cell.json,
+            expected,
+            "cell {} must recover its original bytes, never serve corruption",
+            cell.spec.label()
+        );
+    }
+
+    // The re-run repaired the entries: a third run is a full hit.
+    let third = run_campaign(&campaign, &opts);
+    assert_eq!(third.executed, 0, "re-run must rewrite the damaged entries");
+}
+
+#[test]
+fn a_panicking_cell_names_its_campaign_and_digest() {
+    // A 100% loss rate with the `lossy` preset destroys every message and
+    // every retransmission: the run can never drain, hits the resilience
+    // cell's cycle ceiling and panics out of `run_workload_report`.
+    let cell = ExperimentSpec::Resilience {
+        workload: Workload::Em3d,
+        ni: NiKind::Cni512Q,
+        fault_ppm: 1_000_000,
+        nodes: 2,
+        tier: ParamsTier::Quick,
+    };
+    let campaign = Campaign {
+        name: "boom",
+        title: "panic-context probe".to_owned(),
+        tier: ParamsTier::Quick,
+        workloads: vec![],
+        cells: vec![cell],
+    };
+    let result = std::panic::catch_unwind(|| {
+        run_campaign(
+            &campaign,
+            &RunOptions {
+                jobs: 1,
+                cache: CacheMode::Disabled,
+                ..RunOptions::default()
+            },
+        )
+    });
+    let payload = result.expect_err("a cell that aborts must panic the run");
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .unwrap_or("");
+    assert!(
+        msg.contains("campaign \"boom\""),
+        "panic must name the campaign: {msg}"
+    );
+    assert!(
+        msg.contains(&format!("{:016x}", cell.digest())),
+        "panic must carry the cell digest: {msg}"
+    );
+    assert!(
+        msg.contains("resilience/em3d/CNI512Q/1000000ppm"),
+        "panic must carry the cell label: {msg}"
+    );
+    assert!(
+        msg.contains("pending work at abort"),
+        "the abort diagnostics must ride along: {msg}"
+    );
+}
+
+#[test]
+fn resilience_section_is_byte_identical_across_executor_modes() {
+    let scratch = ScratchCache::new("resilience");
+    let campaign = resilience_campaign(ParamsTier::Quick);
+    let render = |opts: &RunOptions| {
+        let run = run_campaign(&campaign, opts);
+        render_markdown(&run.campaigns[0])
+    };
+    // Cold sequential, cold parallel, then warm: all the same bytes.
+    let cold_seq = render(&RunOptions {
+        jobs: 1,
+        cache: CacheMode::WriteOnly(scratch.dir.clone()),
+        ..RunOptions::default()
+    });
+    let cold_par = render(&RunOptions {
+        jobs: 8,
+        cache: CacheMode::Disabled,
+        ..RunOptions::default()
+    });
+    let warm = render(&RunOptions {
+        jobs: 4,
+        cache: CacheMode::ReadWrite(scratch.dir.clone()),
+        ..RunOptions::default()
+    });
+    assert_eq!(cold_seq, cold_par, "jobs=1 vs jobs=8 diverged");
+    assert_eq!(cold_seq, warm, "cold vs warm diverged");
+    assert!(cold_seq.contains("### Fault accounting"), "{cold_seq}");
 }
 
 #[test]

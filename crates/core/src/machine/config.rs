@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use cni_mem::system::DeviceLocation;
 use cni_mem::timing::TimingConfig;
+use cni_net::faults::FaultConfig;
 use cni_nic::cq_model::CqOptimizations;
 use cni_nic::taxonomy::NiKind;
 use cni_sim::event::QueueBackend;
@@ -145,6 +146,11 @@ pub struct MachineConfig {
     /// either way; only wall-clock differs. Ignored when the policy
     /// resolves to a single shard.
     pub parallel: bool,
+    /// Deterministic fault injection and the reliable-delivery protocol
+    /// that recovers from it. All-zero (the default) disables the layer
+    /// entirely: the machine takes its historical code path and every
+    /// simulated result stays byte-identical.
+    pub faults: FaultConfig,
 }
 
 impl MachineConfig {
@@ -170,6 +176,7 @@ impl MachineConfig {
             queue_backend: QueueBackend::default(),
             shards: ShardPolicy::default(),
             parallel: false,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -254,6 +261,15 @@ impl MachineConfig {
     /// multi-shard [`MachineConfig::with_shards`] policy.
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Returns a copy with the given fault-injection configuration. A
+    /// non-zero configuration also activates the reliable-delivery protocol
+    /// (per-destination sequence numbers, receive-side dedup, ack-driven
+    /// retransmission).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -398,5 +414,14 @@ mod tests {
         };
         let cfg = cfg.with_cq_opts(opts);
         assert!(!cfg.cq_opts.sense_reverse);
+    }
+
+    #[test]
+    fn faults_default_to_zero_and_take_the_builder() {
+        let cfg = MachineConfig::isca96(2, NiKind::Ni2w);
+        assert!(cfg.faults.is_zero(), "the default machine is fault-free");
+        let cfg = cfg.with_faults(FaultConfig::lossy(7, 10_000));
+        assert!(cfg.faults.enabled());
+        assert_eq!(cfg.faults.drop_ppm, 10_000);
     }
 }

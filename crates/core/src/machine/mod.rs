@@ -76,10 +76,35 @@ use cni_sim::sharded::{run_epochs, EpochOutcome, ExecMode};
 use cni_sim::time::Cycle;
 
 pub use config::{MachineConfig, ShardPolicy};
-pub use node::{NodeCore, NodeStats};
+pub use node::{NodeCore, NodeStats, ReliableState};
 pub use program::{IdleProgram, ProcCtx, Program};
 
 use shard::MachineShard;
+
+/// Work one node still had queued when a run hit its cycle limit.
+///
+/// Only populated on aborted runs ([`RunReport::aborted`]) and only for
+/// nodes with something pending, in ascending node order — so it is as
+/// deterministic as the rest of the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingWork {
+    /// The node's index.
+    pub node: usize,
+    /// Window credits held for in-flight (unacknowledged) messages; a full
+    /// window here is what blocks further sends.
+    pub blocked_sends: usize,
+    /// Software-buffered outgoing fragments the NI has not accepted yet.
+    pub outgoing: usize,
+    /// Reassembled messages not yet dispatched to the program.
+    pub inbox: usize,
+    /// Fragments sitting in the NI send queue.
+    pub ni_send: usize,
+    /// Fragments sitting in the NI receive queue.
+    pub ni_recv: usize,
+    /// Reliable-delivery messages awaiting acknowledgement (zero without
+    /// fault injection).
+    pub unacked: usize,
+}
 
 /// Summary of a completed (or aborted) run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,9 +130,29 @@ pub struct RunReport {
     pub fabric: FabricStats,
     /// Per-node workload statistics.
     pub node_stats: Vec<NodeStats>,
+    /// Per-node pending-work summary for aborted runs (empty otherwise);
+    /// see [`PendingWork`]. Diagnostic only — excluded from report digests.
+    pub pending: Vec<PendingWork>,
 }
 
 impl RunReport {
+    /// Human-readable rendering of [`RunReport::pending`] for abort
+    /// diagnostics, one line per node with queued work.
+    pub fn pending_summary(&self) -> String {
+        if self.pending.is_empty() {
+            return String::from("no pending work recorded");
+        }
+        let mut out = String::from("pending work at abort:");
+        for p in &self.pending {
+            out.push_str(&format!(
+                "\n  node {}: {} blocked sends, {} outgoing, {} inbox, \
+                 {} ni-send, {} ni-recv, {} unacked",
+                p.node, p.blocked_sends, p.outgoing, p.inbox, p.ni_send, p.ni_recv, p.unacked
+            ));
+        }
+        out
+    }
+
     /// Average memory-bus utilisation across nodes over the run.
     pub fn memory_bus_utilization(&self) -> f64 {
         if self.cycles == 0 || self.memory_bus_busy_per_node.is_empty() {
@@ -293,6 +338,30 @@ impl Machine {
             .iter()
             .flat_map(|s| s.nodes().iter().map(|n| n.mem.memory_bus().busy_cycles()))
             .collect();
+        // On an abort, capture what each node still had queued — the
+        // difference between "the workload livelocked retransmitting into a
+        // black hole" and "the cycle budget was simply too small" is
+        // invisible without it. Nodes with nothing pending are omitted.
+        let pending: Vec<PendingWork> = if aborted {
+            self.shards
+                .iter()
+                .flat_map(|s| s.nodes().iter())
+                .map(|n| PendingWork {
+                    node: n.id.index(),
+                    blocked_sends: n.window.total_in_flight(),
+                    outgoing: n.outgoing.len(),
+                    inbox: n.inbox.len(),
+                    ni_send: n.ni.send_queue_len(),
+                    ni_recv: n.ni.recv_queue_len(),
+                    unacked: n.rel.as_ref().map_or(0, |r| r.unacked.len()),
+                })
+                .filter(|p| {
+                    p.blocked_sends + p.outgoing + p.inbox + p.ni_send + p.ni_recv + p.unacked > 0
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         RunReport {
             completed: all_done && !aborted,
             aborted,
@@ -310,6 +379,7 @@ impl Machine {
                 .iter()
                 .flat_map(|s| s.nodes().iter().map(|n| n.stats))
                 .collect(),
+            pending,
         }
     }
 }
@@ -563,5 +633,78 @@ mod tests {
         let report = machine.run();
         assert!(!report.completed, "the catcher never gets its message");
         assert!(!report.aborted, "a drained run is not an abort");
+        assert!(
+            report.pending.is_empty(),
+            "a drained run has no pending work"
+        );
+        assert_eq!(report.pending_summary(), "no pending work recorded");
+    }
+
+    #[test]
+    fn lossy_runs_recover_through_retransmission_on_every_ni() {
+        use cni_net::faults::FaultConfig;
+        for kind in NiKind::ALL {
+            let faults = FaultConfig {
+                drop_ppm: 150_000,
+                corrupt_ppm: 100_000,
+                duplicate_ppm: 100_000,
+                delay_ppm: 100_000,
+                ..FaultConfig::default()
+            };
+            let cfg = MachineConfig::isca96(2, kind).with_faults(faults);
+            let mut machine = Machine::new(cfg, pitch_catch_programs(40, 2));
+            let report = machine.run();
+            assert!(report.completed, "{kind}: lossy run did not recover");
+            assert!(!report.aborted, "{kind}: lossy run aborted");
+            let catcher = machine.program_as::<Catcher>(1).unwrap();
+            assert_eq!(catcher.got, 40, "{kind}: reliable delivery lost data");
+            let f = report.fabric;
+            assert!(
+                f.faults_dropped + f.corruptions_detected > 0,
+                "{kind}: fault rates this high must hit some messages"
+            );
+            assert!(
+                f.retransmits >= f.faults_dropped.min(f.timeouts),
+                "{kind}: losses were not retransmitted"
+            );
+            assert!(
+                f.messages > 40,
+                "{kind}: retransmissions and duplicates add wire traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn total_loss_without_retransmission_aborts_with_pending_work() {
+        use cni_net::faults::FaultConfig;
+        // Every message is destroyed and nothing is ever resent: the
+        // pitcher's window fills, its unacked set never drains, and the
+        // retransmission timer keeps the run alive to the cycle limit.
+        let faults = FaultConfig {
+            drop_ppm: 1_000_000,
+            retransmit: false,
+            ..FaultConfig::default()
+        };
+        let mut cfg = MachineConfig::isca96(2, NiKind::Cni512Q).with_faults(faults);
+        cfg.max_cycles = 400_000;
+        let mut machine = Machine::new(cfg, pitch_catch_programs(10, 2));
+        let report = machine.run();
+        assert!(report.aborted, "a 100% drop rate cannot drain");
+        assert!(!report.completed);
+        assert!(report.fabric.faults_dropped > 0);
+        assert!(report.fabric.timeouts > 0, "timeouts count without resends");
+        assert_eq!(report.fabric.retransmits, 0, "retransmission was off");
+        let pitcher = report
+            .pending
+            .iter()
+            .find(|p| p.node == 0)
+            .expect("the pitcher has work stuck in flight");
+        assert!(pitcher.unacked > 0, "unacked messages must be reported");
+        assert!(pitcher.blocked_sends > 0, "window credits are held");
+        let summary = report.pending_summary();
+        assert!(
+            summary.contains("node 0") && summary.contains("unacked"),
+            "summary names the stuck node: {summary}"
+        );
     }
 }

@@ -1,9 +1,10 @@
 //! Per-node runtime state.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use cni_mem::addr::RegionAllocator;
 use cni_mem::system::{DeviceLocation, NodeMemSystem};
+use cni_net::faults::FaultConfig;
 use cni_net::message::NodeId;
 use cni_net::window::SlidingWindow;
 use cni_nic::cdr::Cni4Device;
@@ -13,9 +14,86 @@ use cni_nic::ni2w::Ni2wDevice;
 use cni_nic::taxonomy::NiKind;
 use cni_sim::time::Cycle;
 
-use crate::msg::{AmMessage, Assembler, FragArena, OutgoingBuffer};
+use crate::msg::{AmMessage, Assembler, FragArena, FragPayload, OutgoingBuffer};
 
 use super::config::MachineConfig;
+
+/// Receive-side dedup state for one source: a contiguous "everything below
+/// this is seen" watermark plus the sparse set of seen sequence numbers
+/// above it (delays can reorder arrivals, so the set is not always
+/// contiguous). Memory stays bounded because the watermark compacts the set
+/// as gaps fill.
+#[derive(Debug, Default, Clone)]
+pub struct SeenSeqs {
+    below: u64,
+    sparse: BTreeSet<u64>,
+}
+
+impl SeenSeqs {
+    /// Whether `seq` has been seen before.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq < self.below || self.sparse.contains(&seq)
+    }
+
+    /// Marks `seq` seen. Returns `true` when it was new.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.below || !self.sparse.insert(seq) {
+            return false;
+        }
+        while self.sparse.remove(&self.below) {
+            self.below += 1;
+        }
+        true
+    }
+}
+
+/// One message awaiting acknowledgement (and, on timeout, retransmission).
+#[derive(Debug)]
+pub struct PendingTx {
+    /// A copy of the in-flight fragment, kept for retransmission.
+    pub frag: FragPayload,
+    /// Cycle at which the retransmission timer considers the message lost.
+    pub deadline: Cycle,
+    /// Current backoff; doubles per timeout up to the configured cap.
+    pub backoff: Cycle,
+}
+
+/// Reliable-delivery protocol state, present only when fault injection is
+/// enabled ([`FaultConfig::enabled`]). With the all-zero default
+/// configuration this is `None` and the machine takes its historical,
+/// protocol-free code path.
+#[derive(Debug)]
+pub struct ReliableState {
+    /// Per-destination next send sequence number.
+    pub tx_next: Vec<u64>,
+    /// Unacknowledged messages keyed by `(destination, sequence)`; the
+    /// `BTreeMap` keeps timeout scans in a deterministic order.
+    pub unacked: BTreeMap<(u32, u64), PendingTx>,
+    /// Per-source receive dedup.
+    pub seen: Vec<SeenSeqs>,
+    /// Cycle of the earliest scheduled retransmission-timer event, if any.
+    pub timer_at: Option<Cycle>,
+    /// Whether timed-out messages are actually resent.
+    pub retransmit: bool,
+    /// Initial retransmission timeout.
+    pub rto: Cycle,
+    /// Backoff cap.
+    pub rto_cap: Cycle,
+}
+
+impl ReliableState {
+    fn new(num_nodes: usize, faults: &FaultConfig) -> Self {
+        ReliableState {
+            tx_next: vec![0; num_nodes],
+            unacked: BTreeMap::new(),
+            seen: vec![SeenSeqs::default(); num_nodes],
+            timer_at: None,
+            retransmit: faults.retransmit,
+            rto: faults.rto_cycles.max(1),
+            rto_cap: faults.rto_cap_cycles.max(faults.rto_cycles.max(1)),
+        }
+    }
+}
 
 /// Statistics one node collects over a run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +156,10 @@ pub struct NodeCore {
     /// the node id it forms the sharding-invariant stamp the epoch router
     /// sorts cross-shard traffic by (see [`crate::machine`]'s module docs).
     pub net_seq: u64,
+    /// Reliable-delivery protocol state; `None` when fault injection is
+    /// disabled (the default), in which case the node behaves exactly as it
+    /// did before the protocol existed.
+    pub rel: Option<ReliableState>,
     /// Statistics.
     pub stats: NodeStats,
 }
@@ -130,17 +212,24 @@ impl NodeCore {
             started: false,
             next_msg_id: 0,
             net_seq: 0,
+            rel: cfg
+                .faults
+                .enabled()
+                .then(|| ReliableState::new(cfg.nodes, &cfg.faults)),
             stats: NodeStats::default(),
         }
     }
 
     /// Whether the node has nothing left to do locally (its program may still
-    /// be waiting for remote messages).
+    /// be waiting for remote messages). Unacknowledged reliable-delivery
+    /// messages count as pending work: their retransmission timers keep the
+    /// run alive until the ack arrives.
     pub fn is_quiescent(&self) -> bool {
         self.outgoing.is_empty()
             && self.inbox.is_empty()
             && self.ni.send_queue_len() == 0
             && self.ni.recv_queue_len() == 0
+            && self.rel.as_ref().is_none_or(|r| r.unacked.is_empty())
     }
 }
 
@@ -172,5 +261,31 @@ mod tests {
         let cfg = MachineConfig::isca96_cache_bus(2);
         let node = NodeCore::new(0, &cfg);
         assert!(node.mem.device_cache().is_none());
+    }
+
+    #[test]
+    fn reliable_state_exists_exactly_when_faults_are_enabled() {
+        let cfg = MachineConfig::isca96(4, NiKind::Cni16Q);
+        assert!(NodeCore::new(0, &cfg).rel.is_none());
+        let cfg = cfg.with_faults(cni_net::faults::FaultConfig::lossy(1, 50_000));
+        let node = NodeCore::new(0, &cfg);
+        let rel = node.rel.expect("non-zero faults enable the protocol");
+        assert_eq!(rel.tx_next.len(), 4);
+        assert_eq!(rel.seen.len(), 4);
+        assert!(node.outgoing.is_empty(), "fresh node starts quiescent");
+    }
+
+    #[test]
+    fn seen_seqs_dedups_and_compacts_out_of_order_arrivals() {
+        let mut seen = SeenSeqs::default();
+        assert!(seen.insert(0));
+        assert!(seen.insert(2)); // a delayed seq 1 is still in flight
+        assert!(!seen.insert(0), "replay below the watermark");
+        assert!(!seen.insert(2), "replay in the sparse set");
+        assert!(seen.contains(0) && seen.contains(2) && !seen.contains(1));
+        assert!(seen.insert(1), "the gap fills");
+        assert_eq!(seen.below, 3, "watermark compacts through the gap");
+        assert!(seen.sparse.is_empty(), "nothing sparse after compaction");
+        assert!(!seen.insert(1), "watermark remembers compacted seqs");
     }
 }

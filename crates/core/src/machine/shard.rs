@@ -13,6 +13,7 @@
 //! count.
 
 use cni_net::fabric::{Fabric, FabricStats};
+use cni_net::faults::{FaultDecision, FaultPlan};
 use cni_net::message::NodeId;
 use cni_nic::device::{DeliverOutcome, SendOutcome};
 use cni_nic::frag::FragRef;
@@ -23,23 +24,51 @@ use cni_sim::time::Cycle;
 use crate::msg::FragPayload;
 
 use super::config::MachineConfig;
-use super::node::NodeCore;
+use super::node::{NodeCore, PendingTx};
 use super::program::{IdleProgram, ProcCtx, Program};
 
+/// Wire-level metadata the fault layer and the reliable-delivery protocol
+/// attach to a network message. With fault injection disabled (the default)
+/// every message carries the inert default and the machine behaves exactly
+/// as it did before the protocol existed.
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct WireMeta {
+    /// The sender's per-destination sequence number (receive-side dedup and
+    /// ack matching); `None` when the protocol is disabled.
+    pub(super) tx_seq: Option<u64>,
+    /// Whether the fault layer corrupted the message in flight. The
+    /// receiver's CRC check detects it and discards the message.
+    pub(super) corrupted: bool,
+}
+
 /// Events a shard schedules in its local queue. Node-local events
-/// (`ProcStep`, `DeliveryRetry`) are scheduled directly; network-borne ones
-/// (`NetArrival`, `AckArrival`) only ever enter through the epoch router.
+/// (`ProcStep`, `DeliveryRetry`, `RetxTimer`) are scheduled directly;
+/// network-borne ones (`NetArrival`, `AckArrival`) only ever enter through
+/// the epoch router.
 #[derive(Debug)]
 pub(super) enum Event {
     /// Run one scheduling step of a node's processor.
     ProcStep(NodeId),
     /// A network message arrives at a node's NI.
-    NetArrival(NodeId, FragPayload),
+    NetArrival(NodeId, FragPayload, WireMeta),
     /// An acknowledgement for a message sent from `src` to `dst` arrives
     /// back at `src`.
-    AckArrival { src: NodeId, dst: NodeId },
+    AckArrival {
+        /// The original sender (where the ack arrives).
+        src: NodeId,
+        /// The destination that acknowledged.
+        dst: NodeId,
+        /// The acknowledged per-destination sequence number, when the
+        /// reliable-delivery protocol is active.
+        seq: Option<u64>,
+        /// Whether the fault layer corrupted the ack in flight.
+        corrupted: bool,
+    },
     /// A previously refused delivery is retried.
-    DeliveryRetry(NodeId, FragPayload),
+    DeliveryRetry(NodeId, FragPayload, WireMeta),
+    /// The node's retransmission timer expires: scan for unacknowledged
+    /// messages past their deadline.
+    RetxTimer(NodeId),
 }
 
 /// Network-borne traffic routed between shards at epoch boundaries.
@@ -47,9 +76,18 @@ pub(super) enum Event {
 pub(super) enum NetEvent {
     /// A network message headed for its destination NI (the fragment names
     /// the destination).
-    Arrival(FragPayload),
+    Arrival(FragPayload, WireMeta),
     /// An acknowledgement returning to `src` for a message it sent to `dst`.
-    Ack { src: NodeId, dst: NodeId },
+    Ack {
+        /// The original sender (where the ack arrives).
+        src: NodeId,
+        /// The destination that acknowledged.
+        dst: NodeId,
+        /// The acknowledged sequence number (reliable delivery only).
+        seq: Option<u64>,
+        /// Whether the fault layer corrupted the ack in flight.
+        corrupted: bool,
+    },
 }
 
 /// A contiguous slice of the machine, advancing independently within epochs.
@@ -62,6 +100,9 @@ pub(super) struct MachineShard {
     /// Per-shard fabric: same latency everywhere, statistics accumulate
     /// locally and merge at reporting time.
     fabric: Fabric,
+    /// Compiled fault plan; `None` (the default) disables fault injection
+    /// and the reliable-delivery protocol entirely.
+    faults: Option<FaultPlan>,
     recv_batch: usize,
     delivery_retry_interval: Cycle,
 }
@@ -93,6 +134,7 @@ impl MachineShard {
             programs,
             events: EventQueue::with_backend(cfg.queue_backend),
             fabric,
+            faults: cfg.faults.enabled().then(|| FaultPlan::new(&cfg.faults)),
             recv_batch: cfg.recv_batch,
             delivery_retry_interval: cfg.delivery_retry_interval,
         }
@@ -283,6 +325,7 @@ impl MachineShard {
     fn try_inject(&mut self, id: NodeId, now: Cycle, outbox: &mut Outbox<NetEvent>) {
         let slot = self.slot(id);
         let mut wake_at = None;
+        let mut arm_timer = None;
         {
             let node = &mut self.nodes[slot];
             let src = node.id;
@@ -296,20 +339,44 @@ impl MachineShard {
                     .expect("peeked fragment must be injectable");
                 let payload = node.tx_tokens.take(frag.token);
                 let dst = payload.dst;
+                // Under the reliable-delivery protocol every fragment gets a
+                // per-destination sequence number and a retransmission copy
+                // held until the acknowledgement arrives.
+                let tx_seq = node.rel.as_mut().map(|rel| {
+                    let seq = rel.tx_next[dst.index()];
+                    rel.tx_next[dst.index()] += 1;
+                    rel.unacked.insert(
+                        (dst.index() as u32, seq),
+                        PendingTx {
+                            frag: payload.clone(),
+                            deadline: ready + rel.rto,
+                            backoff: rel.rto,
+                        },
+                    );
+                    seq
+                });
                 let delivery = self
                     .fabric
                     .send(ready, src, dst, frag.payload_bytes, payload);
-                let stamp = Stamp {
-                    origin: src.index() as u32,
-                    seq: node.net_seq,
-                };
-                node.net_seq += 1;
-                outbox.send(
-                    dst.index() as u32,
+                Self::emit_data(
+                    &self.faults,
+                    &mut self.fabric,
+                    node,
+                    outbox,
+                    ready,
                     delivery.arrives_at,
-                    stamp,
-                    NetEvent::Arrival(delivery.message.payload),
+                    delivery.message.payload,
+                    tx_seq,
                 );
+            }
+            // Arm the retransmission timer for anything newly in flight.
+            if let Some(rel) = &mut node.rel {
+                if let Some(next) = rel.unacked.values().map(|p| p.deadline).min() {
+                    if rel.timer_at.is_none_or(|t| next < t) {
+                        rel.timer_at = Some(next);
+                        arm_timer = Some(next);
+                    }
+                }
             }
             // Freed send-queue space may unblock a node that went idle with
             // buffered fragments.
@@ -317,8 +384,144 @@ impl MachineShard {
                 wake_at = Some(now);
             }
         }
+        if let Some(at) = arm_timer {
+            self.events.schedule(at, Event::RetxTimer(id));
+        }
         if let Some(at) = wake_at {
             self.schedule_step(id, at);
+        }
+    }
+
+    /// Stamps one outgoing data fragment and stages it in the outbox,
+    /// rolling its fate through the fault layer when one is configured.
+    /// Always consumes a `net_seq` per staged copy so fault verdicts stay a
+    /// pure function of the stamp and `(origin, seq)` never repeats.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_data(
+        faults: &Option<FaultPlan>,
+        fabric: &mut Fabric,
+        node: &mut NodeCore,
+        outbox: &mut Outbox<NetEvent>,
+        sent_at: Cycle,
+        arrives_at: Cycle,
+        frag: FragPayload,
+        tx_seq: Option<u64>,
+    ) {
+        let target = frag.dst.index() as u32;
+        let stamp = Stamp {
+            origin: node.id.index() as u32,
+            seq: node.net_seq,
+        };
+        node.net_seq += 1;
+        let Some(plan) = faults else {
+            outbox.send(
+                target,
+                arrives_at,
+                stamp,
+                NetEvent::Arrival(frag, WireMeta::default()),
+            );
+            return;
+        };
+        // Traffic to or from a node inside an outage window dies in the
+        // fabric. The receiving end is judged at the arrival time, so a
+        // frozen node starts receiving again the moment its window closes.
+        if plan.node_down(stamp.origin, sent_at) || plan.node_down(target, arrives_at) {
+            fabric.note_fault_drop();
+            return;
+        }
+        let meta = WireMeta {
+            tx_seq,
+            corrupted: false,
+        };
+        match plan.decide(stamp.origin, stamp.seq) {
+            FaultDecision::Deliver => {
+                outbox.send(target, arrives_at, stamp, NetEvent::Arrival(frag, meta))
+            }
+            FaultDecision::Drop => fabric.note_fault_drop(),
+            FaultDecision::Corrupt => outbox.send(
+                target,
+                arrives_at,
+                stamp,
+                NetEvent::Arrival(
+                    frag,
+                    WireMeta {
+                        corrupted: true,
+                        ..meta
+                    },
+                ),
+            ),
+            FaultDecision::Duplicate => {
+                // The fabric materializes a second copy. It gets its own
+                // stamp — `(origin, seq)` must never repeat, the canonical
+                // merge order depends on that — but is not re-rolled (one
+                // fault per injection) and not re-counted as an injection.
+                outbox.send(
+                    target,
+                    arrives_at,
+                    stamp,
+                    NetEvent::Arrival(frag.clone(), meta),
+                );
+                let copy = Stamp {
+                    origin: stamp.origin,
+                    seq: node.net_seq,
+                };
+                node.net_seq += 1;
+                outbox.send(target, arrives_at, copy, NetEvent::Arrival(frag, meta));
+            }
+            FaultDecision::Delay(k) => {
+                outbox.send(target, arrives_at + k, stamp, NetEvent::Arrival(frag, meta))
+            }
+        }
+    }
+
+    /// Emits the acknowledgement for a delivery accepted at `done`, routed
+    /// through the fault layer like any other network message.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_ack(
+        faults: &Option<FaultPlan>,
+        fabric: &mut Fabric,
+        node: &mut NodeCore,
+        outbox: &mut Outbox<NetEvent>,
+        done: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        seq: Option<u64>,
+    ) {
+        let target = src.index() as u32;
+        let arrives_at = fabric.ack_arrival(done);
+        let stamp = Stamp {
+            origin: node.id.index() as u32,
+            seq: node.net_seq,
+        };
+        node.net_seq += 1;
+        let ack = |corrupted: bool| NetEvent::Ack {
+            src,
+            dst,
+            seq,
+            corrupted,
+        };
+        let Some(plan) = faults else {
+            outbox.send(target, arrives_at, stamp, ack(false));
+            return;
+        };
+        if plan.node_down(stamp.origin, done) || plan.node_down(target, arrives_at) {
+            fabric.note_fault_drop();
+            return;
+        }
+        match plan.decide(stamp.origin, stamp.seq) {
+            FaultDecision::Deliver => outbox.send(target, arrives_at, stamp, ack(false)),
+            FaultDecision::Drop => fabric.note_fault_drop(),
+            FaultDecision::Corrupt => outbox.send(target, arrives_at, stamp, ack(true)),
+            FaultDecision::Duplicate => {
+                outbox.send(target, arrives_at, stamp, ack(false));
+                let copy = Stamp {
+                    origin: stamp.origin,
+                    seq: node.net_seq,
+                };
+                node.net_seq += 1;
+                outbox.send(target, arrives_at, copy, ack(false));
+            }
+            FaultDecision::Delay(k) => outbox.send(target, arrives_at + k, stamp, ack(false)),
         }
     }
 
@@ -326,11 +529,42 @@ impl MachineShard {
         &mut self,
         id: NodeId,
         frag: FragPayload,
+        meta: WireMeta,
         now: Cycle,
         outbox: &mut Outbox<NetEvent>,
     ) {
         let slot = self.slot(id);
         let src = frag.src;
+        // The fault layer sits in front of the NI: a corrupted arrival
+        // fails the CRC check and is discarded without an acknowledgement
+        // (the sender's retransmission timer recovers it), and a sequence
+        // number the receiver already accepted is a duplicate — discarded,
+        // but re-acknowledged in case the original ack was lost.
+        if meta.corrupted {
+            self.fabric.note_corruption_detected();
+            return;
+        }
+        if let Some(tx_seq) = meta.tx_seq {
+            let node = &mut self.nodes[slot];
+            let duplicate = node
+                .rel
+                .as_ref()
+                .is_some_and(|rel| rel.seen[src.index()].contains(tx_seq));
+            if duplicate {
+                self.fabric.note_dup_discard();
+                Self::emit_ack(
+                    &self.faults,
+                    &mut self.fabric,
+                    node,
+                    outbox,
+                    now,
+                    src,
+                    id,
+                    Some(tx_seq),
+                );
+                return;
+            }
+        }
         let payload_bytes = frag.payload_bytes;
         // Move the payload into the receive arena (no clones on this path);
         // a refused delivery moves it back out for the retry event.
@@ -341,26 +575,32 @@ impl MachineShard {
             match node.ni.device_deliver(now, &mut node.mem, frag_ref) {
                 DeliverOutcome::Accepted { done } => {
                     let wake = node.idle_since.is_some().then_some(done);
-                    let stamp = Stamp {
-                        origin: id.index() as u32,
-                        seq: node.net_seq,
-                    };
-                    node.net_seq += 1;
-                    (Ok((done, stamp)), wake)
+                    // The sequence number is consumed only once the NI
+                    // accepts: a refused copy retries and must still dedup
+                    // against a retransmission accepted in the meantime.
+                    if let (Some(rel), Some(tx_seq)) = (&mut node.rel, meta.tx_seq) {
+                        rel.seen[src.index()].insert(tx_seq);
+                    }
+                    (Ok(done), wake)
                 }
                 DeliverOutcome::Refused => (Err(node.rx_tokens.take(token)), None),
             }
         };
         match outcome {
-            Ok((done, stamp)) => {
+            Ok(done) => {
                 // Acknowledge back to the sender's sliding window. The ack is
                 // network traffic, so it takes the epoch router like any
                 // other cross-node event.
-                outbox.send(
-                    src.index() as u32,
-                    self.fabric.ack_arrival(done),
-                    stamp,
-                    NetEvent::Ack { src, dst: id },
+                let node = &mut self.nodes[slot];
+                Self::emit_ack(
+                    &self.faults,
+                    &mut self.fabric,
+                    node,
+                    outbox,
+                    done,
+                    src,
+                    id,
+                    meta.tx_seq,
                 );
                 if let Some(at) = wake_at {
                     self.schedule_step(id, at);
@@ -371,25 +611,124 @@ impl MachineShard {
                 // delivery is retried. Node-local, so scheduled directly.
                 self.events.schedule(
                     now + self.delivery_retry_interval,
-                    Event::DeliveryRetry(id, frag),
+                    Event::DeliveryRetry(id, frag, meta),
                 );
             }
         }
     }
 
-    fn handle_ack(&mut self, src: NodeId, dst: NodeId, now: Cycle, outbox: &mut Outbox<NetEvent>) {
+    fn handle_ack(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        seq: Option<u64>,
+        corrupted: bool,
+        now: Cycle,
+        outbox: &mut Outbox<NetEvent>,
+    ) {
+        // A corrupted ack fails the sender-side CRC check and is discarded;
+        // the message it acknowledged will simply be retransmitted and
+        // re-acknowledged.
+        if corrupted {
+            self.fabric.note_corruption_detected();
+            return;
+        }
         let slot = self.slot(src);
         let wake = {
             let node = &mut self.nodes[slot];
-            node.window.release(dst);
+            // Under reliable delivery only the first ack of a sequence
+            // number releases the window credit and clears the
+            // retransmission copy; re-acks (duplicate discards, duplicated
+            // or retransmitted acks) are informational.
+            let fresh = match (&mut node.rel, seq) {
+                (Some(rel), Some(seq)) => rel.unacked.remove(&(dst.index() as u32, seq)).is_some(),
+                _ => true,
+            };
+            if fresh {
+                node.window.release(dst);
+            }
             // A sender that blocked on the window wakes up to resume pushing
             // its buffered fragments.
-            node.idle_since.is_some() && !node.outgoing.is_empty()
+            fresh && node.idle_since.is_some() && !node.outgoing.is_empty()
         };
         if wake {
             self.schedule_step(src, now);
         }
         self.try_inject(src, now, outbox);
+    }
+
+    /// Retransmission-timer expiry: every unacknowledged message past its
+    /// deadline times out. With retransmission enabled the copy is resent —
+    /// fresh stamp, fresh fault roll, same sequence number so the receiver
+    /// can dedup — and either way the backoff doubles up to its cap and the
+    /// timer re-arms while work is pending. The re-arming is what keeps an
+    /// unrecoverable run alive until `max_cycles` aborts it into the
+    /// pending-work diagnostics instead of silently draining.
+    fn retx_timer(&mut self, id: NodeId, now: Cycle, outbox: &mut Outbox<NetEvent>) {
+        let slot = self.slot(id);
+        let due: Vec<(u32, u64)> = {
+            let node = &mut self.nodes[slot];
+            let Some(rel) = &mut node.rel else { return };
+            if rel.timer_at != Some(now) {
+                return; // superseded by an earlier re-arm
+            }
+            rel.timer_at = None;
+            rel.unacked
+                .iter()
+                .filter(|(_, p)| p.deadline <= now)
+                .map(|(&k, _)| k)
+                .collect()
+        };
+        for (dst_index, seq) in due {
+            self.fabric.note_timeout();
+            let node = &mut self.nodes[slot];
+            let rel = node.rel.as_mut().expect("timer only runs with faults on");
+            let retransmit = rel.retransmit;
+            let rto_cap = rel.rto_cap;
+            let entry = rel
+                .unacked
+                .get_mut(&(dst_index, seq))
+                .expect("due entries are not removed mid-scan");
+            entry.backoff = (entry.backoff * 2).min(rto_cap);
+            entry.deadline = now + entry.backoff;
+            if !retransmit {
+                continue;
+            }
+            let frag = entry.frag.clone();
+            self.fabric.note_retransmit();
+            let delivery = self.fabric.send(
+                now,
+                node.id,
+                NodeId(dst_index as usize),
+                frag.payload_bytes,
+                frag,
+            );
+            Self::emit_data(
+                &self.faults,
+                &mut self.fabric,
+                node,
+                outbox,
+                now,
+                delivery.arrives_at,
+                delivery.message.payload,
+                Some(seq),
+            );
+        }
+        // Re-arm for the earliest remaining deadline.
+        let arm = {
+            let node = &mut self.nodes[slot];
+            let rel = node.rel.as_mut().expect("timer only runs with faults on");
+            match rel.unacked.values().map(|p| p.deadline).min() {
+                Some(next) if rel.timer_at.is_none_or(|t| next < t) => {
+                    rel.timer_at = Some(next);
+                    Some(next)
+                }
+                _ => None,
+            }
+        };
+        if let Some(at) = arm {
+            self.events.schedule(at, Event::RetxTimer(id));
+        }
     }
 }
 
@@ -398,12 +737,25 @@ impl ShardSim for MachineShard {
 
     fn accept(&mut self, at: Cycle, msg: NetEvent) {
         match msg {
-            NetEvent::Arrival(frag) => {
+            NetEvent::Arrival(frag, meta) => {
                 let dst = frag.dst;
-                self.events.schedule(at, Event::NetArrival(dst, frag));
+                self.events.schedule(at, Event::NetArrival(dst, frag, meta));
             }
-            NetEvent::Ack { src, dst } => {
-                self.events.schedule(at, Event::AckArrival { src, dst });
+            NetEvent::Ack {
+                src,
+                dst,
+                seq,
+                corrupted,
+            } => {
+                self.events.schedule(
+                    at,
+                    Event::AckArrival {
+                        src,
+                        dst,
+                        seq,
+                        corrupted,
+                    },
+                );
             }
         }
     }
@@ -412,9 +764,15 @@ impl ShardSim for MachineShard {
         while let Some((now, event)) = self.events.pop_before(horizon) {
             match event {
                 Event::ProcStep(id) => self.proc_step(id, now, outbox),
-                Event::NetArrival(id, frag) => self.deliver(id, frag, now, outbox),
-                Event::AckArrival { src, dst } => self.handle_ack(src, dst, now, outbox),
-                Event::DeliveryRetry(id, frag) => self.deliver(id, frag, now, outbox),
+                Event::NetArrival(id, frag, meta) => self.deliver(id, frag, meta, now, outbox),
+                Event::AckArrival {
+                    src,
+                    dst,
+                    seq,
+                    corrupted,
+                } => self.handle_ack(src, dst, seq, corrupted, now, outbox),
+                Event::DeliveryRetry(id, frag, meta) => self.deliver(id, frag, meta, now, outbox),
+                Event::RetxTimer(id) => self.retx_timer(id, now, outbox),
             }
         }
     }

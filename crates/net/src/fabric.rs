@@ -36,6 +36,22 @@ pub struct FabricStats {
     pub wire_bytes: u64,
     /// User payload bytes injected.
     pub payload_bytes: u64,
+    /// Messages the fault layer destroyed in flight (drops plus traffic to
+    /// or from a node inside an outage window). Zero without fault
+    /// injection.
+    pub faults_dropped: u64,
+    /// Messages that arrived corrupted and were discarded by the receiving
+    /// NI's CRC check. Zero without fault injection.
+    pub corruptions_detected: u64,
+    /// Duplicate arrivals discarded by receive-side sequence-number dedup.
+    /// Zero without fault injection.
+    pub dup_discards: u64,
+    /// Messages retransmitted by the reliable-delivery protocol. Zero
+    /// without fault injection.
+    pub retransmits: u64,
+    /// Retransmission-timer expiries (counted even when retransmission is
+    /// disabled). Zero without fault injection.
+    pub timeouts: u64,
 }
 
 impl FabricStats {
@@ -44,6 +60,11 @@ impl FabricStats {
         self.messages += other.messages;
         self.wire_bytes += other.wire_bytes;
         self.payload_bytes += other.payload_bytes;
+        self.faults_dropped += other.faults_dropped;
+        self.corruptions_detected += other.corruptions_detected;
+        self.dup_discards += other.dup_discards;
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
     }
 
     /// Merged copy of an iterator of per-shard statistics.
@@ -141,6 +162,31 @@ impl Fabric {
         self.stats
     }
 
+    /// Records a message the fault layer destroyed in flight.
+    pub fn note_fault_drop(&mut self) {
+        self.stats.faults_dropped += 1;
+    }
+
+    /// Records a corrupted arrival discarded by the receiver's CRC check.
+    pub fn note_corruption_detected(&mut self) {
+        self.stats.corruptions_detected += 1;
+    }
+
+    /// Records a duplicate arrival discarded by receive-side dedup.
+    pub fn note_dup_discard(&mut self) {
+        self.stats.dup_discards += 1;
+    }
+
+    /// Records one retransmission by the reliable-delivery protocol.
+    pub fn note_retransmit(&mut self) {
+        self.stats.retransmits += 1;
+    }
+
+    /// Records one retransmission-timer expiry.
+    pub fn note_timeout(&mut self) {
+        self.stats.timeouts += 1;
+    }
+
     /// Resets statistics (the sequence counter keeps increasing so sequence
     /// numbers stay unique across measurement phases).
     pub fn reset_stats(&mut self) {
@@ -211,5 +257,24 @@ mod tests {
         let merged = FabricStats::merged([a.stats(), b.stats()]);
         assert_eq!(merged, shared.stats());
         assert_eq!(a.latency(), 10);
+    }
+
+    #[test]
+    fn fault_counters_merge_like_traffic_counters() {
+        let mut a = Fabric::new(10);
+        let mut b = Fabric::new(10);
+        a.note_fault_drop();
+        a.note_retransmit();
+        a.note_timeout();
+        b.note_corruption_detected();
+        b.note_dup_discard();
+        b.note_timeout();
+        let merged = FabricStats::merged([a.stats(), b.stats()]);
+        assert_eq!(merged.faults_dropped, 1);
+        assert_eq!(merged.corruptions_detected, 1);
+        assert_eq!(merged.dup_discards, 1);
+        assert_eq!(merged.retransmits, 1);
+        assert_eq!(merged.timeouts, 2);
+        assert_eq!(merged.messages, 0, "fault counters are separate totals");
     }
 }

@@ -14,14 +14,19 @@
 //! * [`window`] — the per-destination sliding-window flow control.
 //! * [`fabric`] — the latency-only fabric with delivery bookkeeping and
 //!   statistics.
+//! * [`faults`] — deterministic fault injection (drop / corrupt / duplicate
+//!   / delay / per-node outages) layered on the fabric, with per-message
+//!   verdicts that are a pure function of the message stamp.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fabric;
+pub mod faults;
 pub mod message;
 pub mod window;
 
 pub use fabric::{Delivery, Fabric, FabricStats};
+pub use faults::{FailWindow, FaultConfig, FaultDecision, FaultPlan};
 pub use message::{
     fragments_for_bytes, NetMessage, NodeId, NET_HEADER_BYTES, NET_MESSAGE_BYTES, NET_PAYLOAD_BYTES,
 };

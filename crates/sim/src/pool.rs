@@ -17,17 +17,24 @@
 //!
 //! [`sharded`]: crate::sharded
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Runs `count` independent jobs on up to `jobs` worker threads and returns
 /// their results in job order.
 ///
-/// `f` is invoked exactly once per index in `0..count`, from an unspecified
+/// `f` is invoked at most once per index in `0..count`, from an unspecified
 /// thread. `jobs = 0` means "auto": the host's [`auto_jobs`]. With one
 /// effective worker (or fewer than two jobs) everything runs inline on the
-/// calling thread in index order. A panicking job propagates the panic to
-/// the caller (the pool is a [`std::thread::scope`]).
+/// calling thread in index order.
+///
+/// A panicking job propagates its panic to the caller with the original
+/// payload. Failure is deterministic like success: once a job panics no new
+/// jobs are claimed, in-flight jobs finish, and the panic that is re-raised
+/// is always the one from the **lowest** panicking index — never whichever
+/// worker thread happened to abort first.
 ///
 /// ```
 /// let squares = cni_sim::pool::run_indexed(4, 8, |i| i * i);
@@ -41,10 +48,14 @@ where
     let jobs = if jobs == 0 { auto_jobs() } else { jobs };
     let workers = jobs.min(count);
     if workers <= 1 {
+        // Inline runs are in index order, so the first panic is already the
+        // lowest-index one.
         return (0..count).map(f).collect();
     }
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
     let done = Mutex::new(Vec::with_capacity(count));
+    let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -54,16 +65,31 @@ where
                 // job is noise, and depositing immediately keeps a panic in
                 // one job from discarding its siblings' finished work.
                 loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= count {
                         break;
                     }
-                    let result = f(index);
-                    done.lock().unwrap().push((index, result));
+                    match catch_unwind(AssertUnwindSafe(|| f(index))) {
+                        Ok(result) => done.lock().unwrap().push((index, result)),
+                        Err(payload) => {
+                            panics.lock().unwrap().push((index, payload));
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
                 }
             });
         }
     });
+    // Claims are monotone, so the lowest panicking index is always claimed
+    // before the stop flag could be observed — re-raising its payload is
+    // therefore independent of worker count and scheduling.
+    let panics = panics.into_inner().unwrap();
+    if let Some((_, payload)) = panics.into_iter().min_by_key(|&(index, _)| index) {
+        resume_unwind(payload);
+    }
     let mut done = done.into_inner().unwrap();
     done.sort_unstable_by_key(|&(index, _)| index);
     debug_assert_eq!(done.len(), count);
@@ -119,5 +145,29 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn the_lowest_index_panic_wins_for_every_worker_count() {
+        for jobs in [1, 2, 4, 16] {
+            let result = std::panic::catch_unwind(|| {
+                run_indexed(jobs, 12, |i| {
+                    if i == 3 || i == 5 {
+                        panic!("job {i} exploded");
+                    }
+                    i
+                })
+            });
+            let payload = result.expect_err("panicking jobs must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            assert_eq!(
+                msg, "job 3 exploded",
+                "jobs = {jobs}: expected the lowest-index panic"
+            );
+        }
     }
 }

@@ -216,3 +216,83 @@ fn det_rng_is_deterministic_and_bounded() {
         }
     }
 }
+
+/// Zero-rate transparency: with every fault rate at 0.0 (the default), the
+/// reliable-delivery protocol is structurally absent and the machine takes
+/// its historical code path byte for byte. Pinned two ways: (a) the
+/// committed `SCALING_ref.txt` reference digests — produced before the
+/// fault layer existed — are recomputed here for two workloads and must
+/// still match; (b) an *explicitly* attached all-zero fault config (even
+/// with protocol knobs flipped) produces a bit-identical [`RunReport`].
+#[test]
+fn zero_fault_rates_leave_reports_byte_identical_to_seed() {
+    use cni::core::machine::{Machine, MachineConfig};
+    use cni::net::faults::FaultConfig;
+    use cni::nic::NiKind;
+    use cni::workloads::{Workload, WorkloadParams};
+    use cni_bench::report_digest;
+
+    let reference: std::collections::HashMap<&str, &str> = include_str!("../SCALING_ref.txt")
+        .lines()
+        .filter_map(|line| {
+            let mut parts = line.split_whitespace();
+            let tag = parts.next()?;
+            (tag == "scaling-digest").then_some(())?;
+            Some((parts.next()?, parts.nth(1)?))
+        })
+        .collect();
+    assert!(
+        reference.len() >= 5,
+        "SCALING_ref.txt should pin at least the five CI workloads"
+    );
+
+    let nodes = 64;
+    // The two cheapest lines of the `scaling --ci` sweep, with the exact
+    // weak-scaled quick inputs the scaling binary uses.
+    for workload in [Workload::Em3d, Workload::Hotspot] {
+        let mut params = WorkloadParams::tiny();
+        match workload {
+            Workload::Em3d => {
+                params.em3d.graph_nodes = nodes * 8;
+                params.em3d.degree = 5;
+                params.em3d.iterations = 4;
+            }
+            Workload::Hotspot => params.hotspot.phases = 3,
+            _ => unreachable!(),
+        }
+        let run = |cfg: MachineConfig| {
+            Machine::new(cfg.clone(), workload.programs(cfg.nodes, &params)).run()
+        };
+
+        let default_cfg = MachineConfig::isca96(nodes, NiKind::Cni512Q);
+        assert!(
+            default_cfg.faults.is_zero(),
+            "the default configuration must carry zero fault rates"
+        );
+        let report = run(default_cfg.clone());
+        assert!(
+            report.completed,
+            "{workload}: reference run did not complete"
+        );
+        let digest = format!("{:016x}", report_digest(&report));
+        let key = workload.to_string();
+        assert_eq!(
+            Some(digest.as_str()),
+            reference.get(key.as_str()).copied(),
+            "{workload}: the zero-rate digest must stay byte-identical to the \
+             committed SCALING_ref.txt line from before the fault layer existed"
+        );
+
+        // An explicit zero-rate config — protocol knobs flipped, rates all
+        // zero — is still fully transparent.
+        let explicit = run(default_cfg.with_faults(FaultConfig {
+            retransmit: false,
+            rto_cycles: 17,
+            ..FaultConfig::default()
+        }));
+        assert_eq!(
+            explicit, report,
+            "{workload}: an all-zero fault config must be a structural no-op"
+        );
+    }
+}

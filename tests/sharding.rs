@@ -279,6 +279,130 @@ fn new_workloads_shard_bit_identically() {
     }
 }
 
+/// Determinism invariant 5: fault-injection verdicts are a pure function of
+/// `(seed, origin, per-node net_seq)`, so a lossy run — drops, detected
+/// corruptions, duplicates, delays, plus the reliable-delivery recovery
+/// machinery (dedup, acks, retransmission timers) — shards bit-identically
+/// too: 1-shard sequential vs N-shard sequential vs N-shard parallel vs
+/// `Auto`, for every NI kind across two workloads, with randomized
+/// machine/shard shapes in the house style. Every case asserts the faults
+/// actually fired, so the equality is never vacuous.
+#[test]
+fn fault_injection_shards_bit_identically() {
+    use cni::net::faults::FaultConfig;
+    let mut rng = DetRng::new(0xFA17_5EED);
+    for kind in NiKind::ALL {
+        for workload in [Workload::Em3d, Workload::Gauss] {
+            let nodes = 4 + rng.gen_index(7); // 4..=10
+            let shards = 2 + rng.gen_index(3); // 2..=4
+            let params = WorkloadParams::tiny();
+            let faults = FaultConfig {
+                seed: rng.next_u64(),
+                drop_ppm: 150_000,
+                corrupt_ppm: 100_000,
+                duplicate_ppm: 100_000,
+                delay_ppm: 100_000,
+                ..FaultConfig::default()
+            };
+            let case = format!(
+                "{kind}/{workload}: {nodes} nodes, {shards} shards, fault seed {:#x}",
+                faults.seed
+            );
+            let cfg = || MachineConfig::isca96(nodes, kind).with_faults(faults.clone());
+
+            let reference = run(cfg(), workload, &params);
+            assert!(
+                reference.completed,
+                "{case}: lossy reference did not complete"
+            );
+            let f = reference.fabric;
+            assert!(
+                f.faults_dropped > 0 && f.corruptions_detected > 0,
+                "{case}: rates this high must drop and corrupt something \
+                 (dropped {}, corrupted {})",
+                f.faults_dropped,
+                f.corruptions_detected
+            );
+
+            let sequential = run(
+                cfg().with_shards(ShardPolicy::Fixed(shards)),
+                workload,
+                &params,
+            );
+            assert_eq!(
+                sequential, reference,
+                "{case}: sequential N-shard lossy run diverged"
+            );
+
+            let parallel = run(
+                cfg()
+                    .with_shards(ShardPolicy::Fixed(shards))
+                    .with_parallel(true),
+                workload,
+                &params,
+            );
+            assert_eq!(
+                parallel, reference,
+                "{case}: parallel N-shard lossy run diverged"
+            );
+
+            let auto = run(cfg().with_shards(ShardPolicy::Auto), workload, &params);
+            assert_eq!(auto, reference, "{case}: Auto lossy layout diverged");
+        }
+    }
+}
+
+/// Fail-stop/freeze windows (a node unreachable for an interval, then
+/// recovered by retransmission) are part of the same invariant: the outage
+/// is judged against stamp-pure times, so it shards bit-identically.
+#[test]
+fn outage_windows_shard_bit_identically() {
+    use cni::net::faults::{FailWindow, FaultConfig};
+    let params = WorkloadParams::tiny();
+    let faults = FaultConfig {
+        seed: 0x00D0_0DAD,
+        drop_ppm: 50_000,
+        fail_windows: vec![
+            FailWindow {
+                node: 1,
+                from: 2_000,
+                until: 60_000,
+            },
+            FailWindow {
+                node: 4,
+                from: 10_000,
+                until: 45_000,
+            },
+        ],
+        ..FaultConfig::default()
+    };
+    let cfg = || MachineConfig::isca96(6, NiKind::Cni16Q).with_faults(faults.clone());
+
+    let reference = run(cfg(), Workload::Em3d, &params);
+    assert!(
+        reference.completed,
+        "the frozen nodes must recover once their windows close"
+    );
+    assert!(
+        reference.fabric.faults_dropped > 0,
+        "traffic into the outage windows must be destroyed"
+    );
+
+    for parallel in [false, true] {
+        let report = run(
+            cfg()
+                .with_shards(ShardPolicy::Fixed(3))
+                .with_parallel(parallel),
+            Workload::Em3d,
+            &params,
+        );
+        assert_eq!(
+            report, reference,
+            "outage run (parallel = {parallel}) diverged"
+        );
+    }
+}
+
 /// `NodesPerShard` partitions (the "contiguous node group" policy) behave
 /// exactly like their `Fixed` equivalents.
 #[test]
