@@ -4,22 +4,29 @@
 //! execution model past that — 16/64/256 (and with `big` 1024) nodes — and
 //! records, per configuration, the simulated result digest and the
 //! simulator's own wall-clock. Simulated results are **bit-identical across
-//! shard counts and execution modes** (the run fails loudly if they are
-//! not); only the wall-clock column varies.
+//! shard counts, execution modes and lookahead modes** (the run fails loudly
+//! if they are not); only the wall-clock column varies.
 //!
 //! Run with `cargo run --release -p cni-bench --bin scaling -- [quick|big]
-//! [--workload NAME] [--json] [--ci]`.
+//! [--workload NAME] [--lookahead fixed|adaptive] [--json] [--ci]`.
 //!
 //! * `quick` sweeps 16/64 nodes with smaller inputs; `big` adds 1024 nodes.
 //! * `--workload` picks the workload swept (default em3d, the ROADMAP
 //!   trajectory workload). Every workload in [`CI_WORKLOADS`] weak-scales
 //!   with the machine: inputs grow proportionally to the node count.
-//! * `--json` emits the sweep in the same trajectory format as `fig8 --json`.
+//! * `--lookahead` selects the epoch planner's horizon policy (default
+//!   adaptive, the config default): `fixed` pins every horizon to the
+//!   `network_latency` grid, `adaptive` lets the traffic forecast collapse
+//!   quiet epochs. The digest column must be identical either way.
+//! * `--json` emits the sweep in the same trajectory format as `fig8 --json`,
+//!   including the epoch statistics (epochs, extensions, mean/max epoch
+//!   length) that make the extension rate observable per configuration.
 //! * `--ci` runs the 64-node / 4-shard smoke configuration (sequential
 //!   1-shard, sequential 4-shard, parallel 4-shard, plus whatever
 //!   `ShardPolicy::Auto` resolves to) **for every CI workload** — em3d and
-//!   the four workloads this repo added beyond the paper's figures — and
-//!   prints one reference digest line per workload; CI diffs the block
+//!   the four workloads this repo added beyond the paper's figures — under
+//!   both lookahead modes, cross-checks that every report is bit-identical,
+//!   and prints one reference digest line per workload; CI diffs the block
 //!   against `SCALING_ref.txt`, so sharded bit-identity is pinned across
 //!   communication patterns, not just em3d's.
 //!
@@ -31,7 +38,7 @@
 use std::time::Instant;
 
 use cni_bench::report_digest;
-use cni_core::machine::{Machine, MachineConfig, RunReport, ShardPolicy};
+use cni_core::machine::{LookaheadMode, Machine, MachineConfig, RunReport, ShardPolicy};
 use cni_nic::taxonomy::NiKind;
 use cni_workloads::{Workload, WorkloadParams};
 
@@ -86,8 +93,13 @@ struct Row {
     nodes: usize,
     shards: usize,
     mode: &'static str,
+    lookahead: LookaheadMode,
     cycles: u64,
     digest: u64,
+    epochs: u64,
+    extensions: u64,
+    mean_epoch_len: f64,
+    max_epoch_len: u64,
     wall_seconds: f64,
 }
 
@@ -96,9 +108,17 @@ fn run_one(
     nodes: usize,
     shards: usize,
     parallel: bool,
+    lookahead: LookaheadMode,
     quick: bool,
 ) -> (RunReport, Row) {
-    run_policy(workload, nodes, ShardPolicy::Fixed(shards), parallel, quick)
+    run_policy(
+        workload,
+        nodes,
+        ShardPolicy::Fixed(shards),
+        parallel,
+        lookahead,
+        quick,
+    )
 }
 
 fn run_policy(
@@ -106,11 +126,13 @@ fn run_policy(
     nodes: usize,
     policy: ShardPolicy,
     parallel: bool,
+    lookahead: LookaheadMode,
     quick: bool,
 ) -> (RunReport, Row) {
     let cfg = MachineConfig::isca96(nodes, NiKind::Cni512Q)
         .with_shards(policy)
-        .with_parallel(parallel);
+        .with_parallel(parallel)
+        .with_lookahead(lookahead);
     let shards = cfg.shard_count();
     let mode = match (policy, cfg.exec_parallel()) {
         (ShardPolicy::Auto, true) => "auto+",
@@ -130,18 +152,29 @@ fn run_policy(
         );
         std::process::exit(1);
     }
+    let outcome = machine.epoch_outcome();
     let row = Row {
         nodes,
         shards,
         mode,
+        lookahead,
         cycles: report.cycles,
         digest: report_digest(&report),
+        epochs: outcome.map_or(0, |o| o.epochs),
+        extensions: outcome.map_or(0, |o| o.extensions),
+        mean_epoch_len: outcome.map_or(0.0, |o| o.mean_epoch_len()),
+        max_epoch_len: outcome.map_or(0, |o| o.max_epoch_len),
         wall_seconds,
     };
     (report, row)
 }
 
-fn sweep(workload: Workload, node_counts: &[usize], quick: bool) -> Vec<Row> {
+fn sweep(
+    workload: Workload,
+    node_counts: &[usize],
+    lookahead: LookaheadMode,
+    quick: bool,
+) -> Vec<Row> {
     let mut rows = Vec::new();
     for &nodes in node_counts {
         let mut reference: Option<RunReport> = None;
@@ -155,7 +188,7 @@ fn sweep(workload: Workload, node_counts: &[usize], quick: bool) -> Vec<Row> {
                 &[false, true]
             };
             for &parallel in modes {
-                let (report, row) = run_one(workload, nodes, shards, parallel, quick);
+                let (report, row) = run_one(workload, nodes, shards, parallel, lookahead, quick);
                 match &reference {
                     None => reference = Some(report),
                     Some(reference) => {
@@ -174,7 +207,7 @@ fn sweep(workload: Workload, node_counts: &[usize], quick: bool) -> Vec<Row> {
         }
         // What ShardPolicy::Auto picks on this host, digest-checked like
         // every other configuration.
-        let (report, row) = run_policy(workload, nodes, ShardPolicy::Auto, false, quick);
+        let (report, row) = run_policy(workload, nodes, ShardPolicy::Auto, false, lookahead, quick);
         if let Some(reference) = &reference {
             if report != *reference {
                 eprintln!(
@@ -195,8 +228,18 @@ fn rows_json(rows: &[Row]) -> String {
         .iter()
         .map(|r| {
             format!(
-                r#"{{"nodes":{},"shards":{},"mode":"{}","cycles":{},"digest":"{:016x}","wall_seconds":{:.3}}}"#,
-                r.nodes, r.shards, r.mode, r.cycles, r.digest, r.wall_seconds
+                r#"{{"nodes":{},"shards":{},"mode":"{}","lookahead":"{}","cycles":{},"digest":"{:016x}","epochs":{},"extensions":{},"mean_epoch_len":{:.1},"max_epoch_len":{},"wall_seconds":{:.3}}}"#,
+                r.nodes,
+                r.shards,
+                r.mode,
+                r.lookahead,
+                r.cycles,
+                r.digest,
+                r.epochs,
+                r.extensions,
+                r.mean_epoch_len,
+                r.max_epoch_len,
+                r.wall_seconds
             )
         })
         .collect();
@@ -208,51 +251,68 @@ fn print_table(workload: Workload, rows: &[Row]) {
         "Scaling sweep: {workload}, CNI512Q, weak-scaled inputs (digest is the simulated-result hash)"
     );
     println!(
-        "{:>7} {:>7} {:>5} {:>14} {:>18} {:>10}",
-        "nodes", "shards", "mode", "cycles", "digest", "wall (s)"
+        "{:>7} {:>7} {:>5} {:>9} {:>14} {:>18} {:>8} {:>7} {:>10}",
+        "nodes", "shards", "mode", "lookahead", "cycles", "digest", "epochs", "ext", "wall (s)"
     );
     for r in rows {
         println!(
-            "{:>7} {:>7} {:>5} {:>14} {:>18x} {:>10.3}",
-            r.nodes, r.shards, r.mode, r.cycles, r.digest, r.wall_seconds
+            "{:>7} {:>7} {:>5} {:>9} {:>14} {:>18x} {:>8} {:>7} {:>10.3}",
+            r.nodes,
+            r.shards,
+            r.mode,
+            r.lookahead,
+            r.cycles,
+            r.digest,
+            r.epochs,
+            r.extensions,
+            r.wall_seconds
         );
     }
-    println!("\nEvery digest within one node count must match: sharding is a");
-    println!("simulator-performance knob, never a results knob.");
+    println!("\nEvery digest within one node count must match: sharding and");
+    println!("lookahead are simulator-performance knobs, never results knobs.");
 }
 
 /// The CI smoke configuration, per workload: 64 nodes, 1-vs-4 shards, both
-/// modes, plus whatever `ShardPolicy::Auto` resolves to on the CI host.
+/// execution modes and both lookahead modes, plus whatever
+/// `ShardPolicy::Auto` resolves to on the CI host. The printed digest block
+/// is computed from the fixed-lookahead reference, and every adaptive run is
+/// cross-checked against it — so the committed `SCALING_ref.txt` lines stay
+/// valid (and unchanged) whichever lookahead mode a run uses.
 fn run_ci() {
     let quick = true;
     for workload in CI_WORKLOADS {
-        let (reference, base) = run_one(workload, 64, 1, false, quick);
-        for (shards, parallel) in [(4usize, false), (4, true)] {
-            let (report, row) = run_one(workload, 64, shards, parallel, quick);
+        let (reference, base) = run_one(workload, 64, 1, false, LookaheadMode::Fixed, quick);
+        for lookahead in [LookaheadMode::Fixed, LookaheadMode::Adaptive] {
+            for (shards, parallel) in [(1usize, false), (4, false), (4, true)] {
+                let (report, row) = run_one(workload, 64, shards, parallel, lookahead, quick);
+                if report != reference {
+                    eprintln!(
+                        "scaling --ci: {workload} 64-node run with {shards} shards ({}, {} \
+                         lookahead) diverged from the fixed-lookahead 1-shard reference — \
+                         determinism bug",
+                        row.mode, lookahead
+                    );
+                    std::process::exit(1);
+                }
+            }
+            let (report, row) =
+                run_policy(workload, 64, ShardPolicy::Auto, false, lookahead, quick);
             if report != reference {
                 eprintln!(
-                    "scaling --ci: {workload} 64-node run with {shards} shards ({}) diverged \
-                     from the 1-shard reference — determinism bug",
-                    row.mode
+                    "scaling --ci: {workload} 64-node auto run ({} shards, {}, {} lookahead) \
+                     diverged from the fixed-lookahead 1-shard reference — determinism bug",
+                    row.shards, row.mode, lookahead
                 );
                 std::process::exit(1);
             }
-        }
-        let (report, row) = run_policy(workload, 64, ShardPolicy::Auto, false, quick);
-        if report != reference {
-            eprintln!(
-                "scaling --ci: {workload} 64-node auto run ({} shards, {}) diverged from the \
-                 1-shard reference — determinism bug",
-                row.shards, row.mode
-            );
-            std::process::exit(1);
         }
         // One line per workload; CI pins the whole block in SCALING_ref.txt.
         println!("scaling-digest {workload} 64n {:016x}", base.digest);
     }
 }
 
-const USAGE: &str = "scaling [quick|big] [--workload NAME] [--json] [--ci]";
+const USAGE: &str =
+    "scaling [quick|big] [--workload NAME] [--lookahead fixed|adaptive] [--json] [--ci]";
 
 fn usage_error(message: &str) -> ! {
     cni_bench::cli::usage_error(USAGE, message);
@@ -263,6 +323,7 @@ fn main() {
     let mut ci = false;
     let mut mode: Option<String> = None;
     let mut workload: Option<Workload> = None;
+    let mut lookahead: Option<LookaheadMode> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -275,22 +336,32 @@ fn main() {
                 },
                 None => usage_error("--workload takes a benchmark name"),
             },
+            "--lookahead" => match args.next().as_deref() {
+                Some("fixed") => lookahead = Some(LookaheadMode::Fixed),
+                Some("adaptive") => lookahead = Some(LookaheadMode::Adaptive),
+                Some(other) => usage_error(&format!(
+                    "--lookahead takes fixed or adaptive, got {other:?}"
+                )),
+                None => usage_error("--lookahead takes fixed or adaptive"),
+            },
             "quick" | "big" | "scaled" if mode.is_none() => mode = Some(arg),
             other => usage_error(&format!("unrecognized argument {other:?}")),
         }
     }
     if ci {
-        if workload.is_some() || json || mode.is_some() {
+        if workload.is_some() || json || mode.is_some() || lookahead.is_some() {
             usage_error(
                 "--ci runs its fixed smoke configuration (quick inputs, 64 nodes, \
-                 em3d/barnes/dsmc/unstructured/hotspot) and prints the digest block \
-                 CI pins; it cannot be combined with a mode, --workload or --json",
+                 em3d/barnes/dsmc/unstructured/hotspot, both lookahead modes) and prints \
+                 the digest block CI pins; it cannot be combined with a mode, --workload, \
+                 --lookahead or --json",
             );
         }
         run_ci();
         return;
     }
     let workload = workload.unwrap_or(Workload::Em3d);
+    let lookahead = lookahead.unwrap_or_default();
     let mode = mode.as_deref().unwrap_or("scaled");
     let (node_counts, quick): (&[usize], bool) = match mode {
         "quick" => (&[16, 64], true),
@@ -300,12 +371,12 @@ fn main() {
     };
 
     let started = Instant::now();
-    let rows = sweep(workload, node_counts, quick);
+    let rows = sweep(workload, node_counts, lookahead, quick);
     let wall_seconds = started.elapsed().as_secs_f64();
 
     if json {
         println!(
-            r#"{{"experiment":"scaling","workload":"{workload}","mode":"{mode}","wall_seconds":{wall_seconds:.3},"rows":[{}]}}"#,
+            r#"{{"experiment":"scaling","workload":"{workload}","mode":"{mode}","lookahead":"{lookahead}","wall_seconds":{wall_seconds:.3},"rows":[{}]}}"#,
             rows_json(&rows)
         );
     } else {

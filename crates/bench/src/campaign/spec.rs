@@ -27,12 +27,12 @@ use cni_nic::taxonomy::{NiKind, QueueHome, QueuePointers};
 use cni_sim::event::QueueBackend;
 use cni_workloads::{ParamsTier, Workload};
 
-use crate::{report_digest, run_workload_report};
+use crate::{report_digest, run_workload_outcome, run_workload_report};
 
 /// Version tag of the spec encoding and the result encodings. Bump when a
 /// cell's canonical or result JSON changes shape, so stale cache entries
 /// can never be misread.
-const SPEC_SCHEMA: &str = "cni-campaign-v1";
+const SPEC_SCHEMA: &str = "cni-campaign-v2";
 
 /// Simulator-performance knobs applied when executing a cell. None of these
 /// affect simulated results (the determinism tests prove it), so none of
@@ -309,12 +309,20 @@ impl ExperimentSpec {
                 tier,
             } => {
                 let cfg = tune(MachineConfig::for_bus(nodes, ni, location));
-                let report = run_workload_report(workload, &cfg, &tier.params());
+                let (report, outcome) = run_workload_outcome(workload, &cfg, &tier.params());
+                // The epoch statistics describe the driver's schedule under
+                // the config-default lookahead mode — deterministic like the
+                // simulated numbers (invariant across shard counts, executor
+                // modes and backends), so they are safe to cache alongside.
                 format!(
-                    r#"{{"cycles":{},"memory_bus_busy":{},"io_bus_busy":{},"report_digest":"{:016x}"}}"#,
+                    r#"{{"cycles":{},"memory_bus_busy":{},"io_bus_busy":{},"epochs":{},"epoch_extensions":{},"mean_epoch_len":{:.1},"max_epoch_len":{},"report_digest":"{:016x}"}}"#,
                     report.cycles,
                     report.memory_bus_busy,
                     report.io_bus_busy,
+                    outcome.epochs,
+                    outcome.extensions,
+                    outcome.mean_epoch_len(),
+                    outcome.max_epoch_len,
                     report_digest(&report)
                 )
             }

@@ -75,7 +75,7 @@ pub mod campaign;
 pub mod cli;
 pub mod json;
 
-use cni_core::machine::{Machine, MachineConfig, RunReport};
+use cni_core::machine::{EpochOutcome, Machine, MachineConfig, RunReport};
 use cni_mem::system::DeviceLocation;
 use cni_nic::taxonomy::NiKind;
 use cni_sim::time::Cycle;
@@ -143,6 +143,42 @@ pub fn run_workload_report(
 /// time in cycles.
 pub fn run_workload(workload: Workload, cfg: &MachineConfig, params: &WorkloadParams) -> Cycle {
     run_workload_report(workload, cfg, params).cycles
+}
+
+/// Like [`run_workload_report`], but also returns the epoch driver's
+/// [`EpochOutcome`] — epochs executed, exchanges, adaptive-lookahead
+/// extensions, mean/max epoch length. The outcome describes the *schedule*
+/// of the bit-identical simulation, so it is as deterministic as the report
+/// itself for a given lookahead mode (and invariant across shard counts and
+/// executor modes).
+pub fn run_workload_outcome(
+    workload: Workload,
+    cfg: &MachineConfig,
+    params: &WorkloadParams,
+) -> (RunReport, EpochOutcome) {
+    let programs = workload.programs(cfg.nodes, params);
+    let mut machine = Machine::new(cfg.clone(), programs);
+    let report = machine.run();
+    assert!(
+        !report.aborted,
+        "{workload} on {} ({}) hit the cycle limit (max_cycles = {}) — \
+         results would be silently truncated; {}",
+        cfg.ni_kind,
+        location_name(cfg.device_location),
+        cfg.max_cycles,
+        report.pending_summary()
+    );
+    assert!(
+        report.completed,
+        "{workload} did not complete on {} ({})",
+        cfg.ni_kind,
+        location_name(cfg.device_location)
+    );
+    let outcome = machine
+        .epoch_outcome()
+        .copied()
+        .expect("a completed run always has an epoch outcome");
+    (report, outcome)
 }
 
 /// A deterministic 64-bit digest of everything a [`RunReport`] observes:

@@ -8,6 +8,7 @@ use cni_net::faults::FaultConfig;
 use cni_nic::cq_model::CqOptimizations;
 use cni_nic::taxonomy::NiKind;
 use cni_sim::event::QueueBackend;
+use cni_sim::sharded::LookaheadMode;
 use cni_sim::time::Cycle;
 
 /// How a machine's nodes are partitioned into shards for the epoch-driven
@@ -151,6 +152,11 @@ pub struct MachineConfig {
     /// entirely: the machine takes its historical code path and every
     /// simulated result stays byte-identical.
     pub faults: FaultConfig,
+    /// How the epoch driver plans its horizons: fixed one-latency epochs or
+    /// (the default) adaptive extension from the shards' traffic forecasts.
+    /// A simulator-performance knob like [`MachineConfig::shards`]:
+    /// simulated results are bit-identical under either mode.
+    pub lookahead: LookaheadMode,
 }
 
 impl MachineConfig {
@@ -177,6 +183,7 @@ impl MachineConfig {
             shards: ShardPolicy::default(),
             parallel: false,
             faults: FaultConfig::default(),
+            lookahead: LookaheadMode::default(),
         }
     }
 
@@ -270,6 +277,13 @@ impl MachineConfig {
     /// retransmission).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns a copy using the given lookahead mode (simulator-performance
+    /// knob; simulated results are bit-identical under either mode).
+    pub fn with_lookahead(mut self, lookahead: LookaheadMode) -> Self {
+        self.lookahead = lookahead;
         self
     }
 

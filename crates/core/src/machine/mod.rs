@@ -29,7 +29,15 @@
 //! [`cni_sim::sharded::run_epochs`] — sequentially round-robined or, with
 //! [`MachineConfig::with_parallel`], on a persistent worker pool (one
 //! worker per shard) that rendezvouses at atomic epoch barriers and skips
-//! the cross-shard exchange for epochs that emitted no traffic.
+//! the cross-shard exchange for epochs that emitted no traffic. Under the
+//! default adaptive lookahead ([`MachineConfig::lookahead`]) the planner
+//! additionally stretches epochs past the one-latency grid using each
+//! shard's conservative traffic forecast
+//! ([`cni_sim::sharded::ShardSim::earliest_emission`] — for a machine
+//! shard, the earliest pending event while any pending event can still
+//! emit), collapsing runs of quiet epochs and their
+//! barriers into one; see [`cni_sim::sharded`]'s module docs for the
+//! extension rule and why it cannot change results.
 //! [`ShardPolicy::Auto`] picks both the shard count and the execution mode
 //! from the host's core count and the machine size, so callers that just
 //! want the fastest correct run can stop hand-tuning.
@@ -72,9 +80,10 @@ pub mod program;
 mod shard;
 
 use cni_net::fabric::{Fabric, FabricStats};
-use cni_sim::sharded::{run_epochs, EpochOutcome, ExecMode};
+use cni_sim::sharded::{run_epochs, ExecMode};
 use cni_sim::time::Cycle;
 
+pub use cni_sim::sharded::{EpochOutcome, LookaheadMode};
 pub use config::{MachineConfig, ShardPolicy};
 pub use node::{NodeCore, NodeStats, ReliableState};
 pub use program::{IdleProgram, ProcCtx, Program};
@@ -272,6 +281,14 @@ impl Machine {
         FabricStats::merged(self.shards.iter().map(|s| s.fabric_stats()))
     }
 
+    /// The epoch driver's summary of the last [`Machine::run`]: epochs
+    /// executed, exchanges performed, lookahead extensions taken. `None`
+    /// before the first run. Simulator telemetry — not part of the simulated
+    /// result, and excluded from report digests.
+    pub fn epoch_outcome(&self) -> Option<&EpochOutcome> {
+        self.outcome.as_ref()
+    }
+
     /// Runs the machine until every event has drained (or the configured
     /// cycle limit is reached) and returns a report.
     ///
@@ -299,6 +316,7 @@ impl Machine {
             epoch,
             self.cfg.max_cycles,
             mode,
+            self.cfg.lookahead,
         );
         self.outcome = Some(outcome);
         self.report()
@@ -330,8 +348,27 @@ impl Machine {
             .unwrap_or(0);
         if aborted {
             // Report where the run was cut off, not just how far the
-            // processors got.
-            cycles = cycles.max(self.outcome.as_ref().map_or(0, |o| o.last_horizon));
+            // processors got. The cut-off is mapped back onto the *fixed*
+            // epoch grid from the last dispatched event: an extended
+            // (adaptive-lookahead) final epoch processes exactly the events
+            // a fixed-mode run would have before aborting, so anchoring on
+            // the grid keeps aborted reports bit-identical across lookahead
+            // modes instead of leaking the extended horizon.
+            let epoch = self.cfg.timing.network_latency;
+            let cut = match self.outcome.as_ref() {
+                Some(o) if o.epochs > 0 => {
+                    let last = self
+                        .shards
+                        .iter()
+                        .map(|s| s.last_event_time())
+                        .max()
+                        .unwrap_or(0);
+                    ((last / epoch) * epoch).saturating_add(epoch)
+                }
+                Some(o) => o.last_horizon,
+                None => 0,
+            };
+            cycles = cycles.max(cut);
         }
         let memory_bus_busy_per_node: Vec<Cycle> = self
             .shards

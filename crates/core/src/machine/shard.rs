@@ -105,6 +105,15 @@ pub(super) struct MachineShard {
     faults: Option<FaultPlan>,
     recv_batch: usize,
     delivery_retry_interval: Cycle,
+    /// How many pending events are *emitters* — may stage network traffic
+    /// when dispatched. Maintained by [`MachineShard::schedule_event`] and
+    /// the `advance` pop loop; feeds the `earliest_emission` forecast.
+    emitting_pending: usize,
+    /// Whether an expiring `RetxTimer` can emit. A timer that cannot
+    /// retransmit only bumps backoff/deadlines and re-arms itself — it never
+    /// schedules other event kinds or enables an emission, so it is inert
+    /// for forecasting purposes. Constant for the whole run.
+    retx_emits: bool,
 }
 
 impl std::fmt::Debug for MachineShard {
@@ -137,7 +146,38 @@ impl MachineShard {
             faults: cfg.faults.enabled().then(|| FaultPlan::new(&cfg.faults)),
             recv_batch: cfg.recv_batch,
             delivery_retry_interval: cfg.delivery_retry_interval,
+            emitting_pending: 0,
+            retx_emits: cfg.faults.enabled() && cfg.faults.retransmit,
         }
+    }
+
+    /// Whether dispatching `event` may stage network traffic (directly or by
+    /// enabling a later event that does). Everything except an inert
+    /// retransmission timer counts: `ProcStep` injects, `DeliveryRetry`
+    /// acknowledges on acceptance, and arrivals/acks — though in practice
+    /// consumed within their delivery epoch — can wake senders.
+    fn is_emitter(&self, event: &Event) -> bool {
+        match event {
+            Event::RetxTimer(_) => self.retx_emits,
+            _ => true,
+        }
+    }
+
+    /// The one scheduling path into this shard's queue: keeps the emitter
+    /// count in lock-step with the pending events.
+    fn schedule_event(&mut self, at: Cycle, event: Event) {
+        if self.is_emitter(&event) {
+            self.emitting_pending += 1;
+        }
+        self.events.schedule(at, event);
+    }
+
+    /// Time of the last dispatched event — the shard's local clock. The
+    /// machine's abort reporting maps this back onto the fixed epoch grid so
+    /// aborted runs report identical cycle counts under every lookahead
+    /// mode.
+    pub(super) fn last_event_time(&self) -> Cycle {
+        self.events.now()
     }
 
     /// Read access to a node by its index *within this shard*.
@@ -194,7 +234,7 @@ impl MachineShard {
         if !node.step_scheduled {
             node.step_scheduled = true;
             let at = at.max(self.events.now());
-            self.events.schedule(at, Event::ProcStep(id));
+            self.schedule_event(at, Event::ProcStep(id));
         }
     }
 
@@ -385,7 +425,7 @@ impl MachineShard {
             }
         }
         if let Some(at) = arm_timer {
-            self.events.schedule(at, Event::RetxTimer(id));
+            self.schedule_event(at, Event::RetxTimer(id));
         }
         if let Some(at) = wake_at {
             self.schedule_step(id, at);
@@ -609,7 +649,7 @@ impl MachineShard {
             Err(frag) => {
                 // Backpressure: the message waits in the network and the
                 // delivery is retried. Node-local, so scheduled directly.
-                self.events.schedule(
+                self.schedule_event(
                     now + self.delivery_retry_interval,
                     Event::DeliveryRetry(id, frag, meta),
                 );
@@ -727,7 +767,7 @@ impl MachineShard {
             }
         };
         if let Some(at) = arm {
-            self.events.schedule(at, Event::RetxTimer(id));
+            self.schedule_event(at, Event::RetxTimer(id));
         }
     }
 }
@@ -739,7 +779,7 @@ impl ShardSim for MachineShard {
         match msg {
             NetEvent::Arrival(frag, meta) => {
                 let dst = frag.dst;
-                self.events.schedule(at, Event::NetArrival(dst, frag, meta));
+                self.schedule_event(at, Event::NetArrival(dst, frag, meta));
             }
             NetEvent::Ack {
                 src,
@@ -747,7 +787,7 @@ impl ShardSim for MachineShard {
                 seq,
                 corrupted,
             } => {
-                self.events.schedule(
+                self.schedule_event(
                     at,
                     Event::AckArrival {
                         src,
@@ -762,6 +802,9 @@ impl ShardSim for MachineShard {
 
     fn advance(&mut self, horizon: Cycle, outbox: &mut Outbox<NetEvent>) {
         while let Some((now, event)) = self.events.pop_before(horizon) {
+            if self.is_emitter(&event) {
+                self.emitting_pending -= 1;
+            }
             match event {
                 Event::ProcStep(id) => self.proc_step(id, now, outbox),
                 Event::NetArrival(id, frag, meta) => self.deliver(id, frag, meta, now, outbox),
@@ -779,5 +822,24 @@ impl ShardSim for MachineShard {
 
     fn next_event_time(&self) -> Option<Cycle> {
         self.events.peek_time()
+    }
+
+    /// Conservative traffic forecast: while any pending event is an emitter,
+    /// promise the queue's overall minimum — never later than the earliest
+    /// emitter, hence always sound. Only when *every* pending event is inert
+    /// (unretransmittable timers grinding their backoff) does the shard
+    /// decline to forecast, letting the planner stretch the epoch.
+    fn earliest_emission(&self) -> Option<Cycle> {
+        if self.emitting_pending > 0 {
+            self.events.next_occupied()
+        } else {
+            None
+        }
+    }
+
+    /// The common dense case — no inert timers pending — where the forecast
+    /// is exactly the queue minimum the epoch plan already peeked.
+    fn all_pending_emit(&self) -> bool {
+        self.emitting_pending == self.events.len()
     }
 }

@@ -208,17 +208,9 @@ impl<E> Wheel<E> {
             return None;
         }
         loop {
-            // Entries at a lower level always precede entries at any higher
-            // level, so the next event is in the lowest occupied level's
-            // earliest slot (lowest set bit: slot indices never wrap past the
-            // current position, because `elapsed` only advances to the time
-            // of a popped — i.e. globally earliest — event).
-            let level = self
-                .levels
-                .iter()
-                .position(|l| l.occupied != 0)
+            let (level, slot) = self
+                .min_position()
                 .expect("len > 0 implies an occupied slot");
-            let slot = self.levels[level].occupied.trailing_zeros() as usize;
             if level == 0 {
                 // A level-0 slot holds exactly one cycle's events; the front
                 // entry's time is the queue minimum.
@@ -283,7 +275,14 @@ impl<E> Wheel<E> {
         }
     }
 
-    fn peek_time(&self) -> Option<Cycle> {
+    /// The lowest occupied `(level, slot)` — the position holding the queue
+    /// minimum. Entries at a lower level always precede entries at any
+    /// higher level, so the next event is in the lowest occupied level's
+    /// earliest slot (lowest set bit: slot indices never wrap past the
+    /// current position, because `elapsed` only advances to the time of a
+    /// popped — i.e. globally earliest — event). This is the one scan both
+    /// `pop_before` and `next_occupied` resolve positions through.
+    fn min_position(&self) -> Option<(usize, usize)> {
         if self.len == 0 {
             return None;
         }
@@ -293,6 +292,12 @@ impl<E> Wheel<E> {
             .position(|l| l.occupied != 0)
             .expect("len > 0 implies an occupied slot");
         let slot = self.levels[level].occupied.trailing_zeros() as usize;
+        Some((level, slot))
+    }
+
+    /// Exact time of the earliest pending event, without mutating the wheel.
+    fn next_occupied(&self) -> Option<Cycle> {
+        let (level, slot) = self.min_position()?;
         // Level-0 slots hold a single cycle; coarser slots can mix cycles, so
         // scan for the minimum (peeks are rare — the hot loop only pops).
         self.levels[level].slots[slot]
@@ -426,12 +431,25 @@ impl<E> EventQueue<E> {
         self.schedule(at, event);
     }
 
-    /// Time of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<Cycle> {
+    /// Exact cycle of the earliest pending event — the "next occupied slot"
+    /// peek the adaptive-lookahead planner builds traffic forecasts from.
+    ///
+    /// Both backends answer without mutating the queue, and the answer is
+    /// **exact** (not a lower bound): the sharded driver places the next
+    /// epoch on the grid cell containing this cycle, so an early answer
+    /// would plan epochs that pop nothing. Heap-vs-wheel agreement is pinned
+    /// in `tests/properties.rs`.
+    pub fn next_occupied(&self) -> Option<Cycle> {
         match &self.backend {
             Backend::Heap(heap) => heap.peek().map(|e| e.at),
-            Backend::Wheel(wheel) => wheel.peek_time(),
+            Backend::Wheel(wheel) => wheel.next_occupied(),
         }
+    }
+
+    /// Time of the earliest pending event, if any — an alias of
+    /// [`EventQueue::next_occupied`], kept for the pre-lookahead callers.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.next_occupied()
     }
 
     /// Pops the earliest event, advancing the simulation clock to its time.

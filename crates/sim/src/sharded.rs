@@ -53,6 +53,32 @@
 //! unchanged, and bit-identical results with it: an epoch with no emissions
 //! and no staged arrivals routes nothing and delivers nothing in either
 //! mode.
+//!
+//! # Adaptive lookahead
+//!
+//! The fixed epoch length is the *minimum* sound lookahead, not the best
+//! one. Under [`LookaheadMode::Adaptive`] (the default) the planner asks
+//! every shard for a traffic forecast — [`ShardSim::earliest_emission`], a
+//! conservative lower bound on the next cycle at which the shard could hand
+//! anything to its outbox — and extends the epoch's horizon to
+//! `forecast floor + epoch`: an emission at cycle `t ≥ floor` arrives at
+//! `t + latency ≥ floor + epoch`, so nothing can land inside the extended
+//! window. Two clamps keep the extension sound and abort-exact: the horizon
+//! never crosses the earliest *staged* arrival at or past the planned
+//! horizon (those events must be delivered at their epoch start before any
+//! shard advances past them), and never crosses the horizon of the last
+//! epoch the fixed-lookahead grid could execute before `max_cycles` (so a
+//! run that aborts at the cycle limit processes the exact same event set —
+//! and reports the exact same result — under either mode). Quiet stretches
+//! — compute-heavy phases, retransmission back-off grinds, trailing drains —
+//! thus collapse many empty epochs (and their barriers, exchanges and
+//! router passes) into one. Extension changes *when barriers happen*, never
+//! what any shard observes: deliveries still happen at the planned epoch
+//! start, per-shard event order is untouched, and every simulated result
+//! stays bit-identical across `Fixed`/`Adaptive`, shard counts and
+//! execution modes. The router's lookahead `debug_assert` checks the
+//! forecast contract on every absorbed event, so a shard whose forecast
+//! over-promises fails loudly in test builds.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -159,6 +185,51 @@ pub trait ShardSim: Send {
     /// Cycle of the earliest pending local event, if any — used by the
     /// driver to fast-forward over empty epochs and to detect termination.
     fn next_event_time(&self) -> Option<Cycle>;
+
+    /// Conservative forecast: a lower bound on the earliest cycle at which
+    /// this shard could push an event into its [`Outbox`], assuming no
+    /// further [`ShardSim::accept`] deliveries. `None` promises the shard
+    /// cannot emit at all until something is delivered to it.
+    ///
+    /// The adaptive planner ([`LookaheadMode::Adaptive`]) extends epoch
+    /// horizons to `forecast + epoch`, so the contract is load-bearing: a
+    /// forecast later than a real emission breaks the lookahead argument
+    /// (the router debug-asserts it on every absorbed event). Returning
+    /// *earlier* than any real emission is always sound — it just extends
+    /// less. The default implementation treats every pending event as a
+    /// potential emitter, which is sound for any model.
+    fn earliest_emission(&self) -> Option<Cycle> {
+        self.next_event_time()
+    }
+
+    /// Cheap hint that *every* pending local event is a potential emitter —
+    /// i.e. [`ShardSim::earliest_emission`] would return exactly
+    /// [`ShardSim::next_event_time`]. The adaptive planner then reuses the
+    /// event time it already peeked for the epoch plan instead of peeking
+    /// the queue a second time — the peek is the planner's only per-epoch
+    /// cost on shards that never extend, so this is what keeps the adaptive
+    /// default at wall-clock parity with fixed lookahead on dense
+    /// workloads. `false` is always safe; the planner just calls
+    /// [`ShardSim::earliest_emission`].
+    fn all_pending_emit(&self) -> bool {
+        false
+    }
+}
+
+/// The forecast [`extend_horizon`] sees for one shard, reusing the epoch
+/// plan's already-peeked `next_event` when the shard promises every pending
+/// event can emit.
+fn forecast_of<S: ShardSim>(shard: &S, next_event: Option<Cycle>) -> Option<Cycle> {
+    if shard.all_pending_emit() {
+        debug_assert_eq!(
+            shard.earliest_emission(),
+            next_event,
+            "all_pending_emit promised earliest_emission == next_event_time"
+        );
+        next_event
+    } else {
+        shard.earliest_emission()
+    }
 }
 
 /// How [`run_epochs`] executes the shards of each epoch.
@@ -173,7 +244,39 @@ pub enum ExecMode {
     Parallel,
 }
 
+/// Whether the epoch planner may extend horizons past the fixed grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookaheadMode {
+    /// Every epoch is exactly one `epoch` long on the fixed grid — the
+    /// classic conservative-PDES schedule. Kept as the A/B baseline.
+    Fixed,
+    /// Horizons extend to the shards' traffic forecast
+    /// ([`ShardSim::earliest_emission`]) plus one epoch, collapsing quiet
+    /// stretches into single epochs (see the module docs). Produces
+    /// bit-identical simulated results to [`LookaheadMode::Fixed`].
+    #[default]
+    Adaptive,
+}
+
+impl std::fmt::Display for LookaheadMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LookaheadMode::Fixed => "fixed",
+            LookaheadMode::Adaptive => "adaptive",
+        })
+    }
+}
+
 /// Summary of a completed [`run_epochs`] drive.
+///
+/// `routed_events` and `aborted` are invariant across shard counts,
+/// execution modes *and* lookahead modes. The epoch-shape statistics
+/// (`epochs`, `exchanges`, `extensions`, `epoch_cycles`, `max_epoch_len`,
+/// `last_horizon`) are invariant across execution modes and — whenever
+/// shard forecasts reduce to global minima, which holds unless a shard
+/// declines to forecast while others emit — across shard counts too; they
+/// naturally differ between [`LookaheadMode::Fixed`] and
+/// [`LookaheadMode::Adaptive`], which is the point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpochOutcome {
     /// Epochs actually executed (empty epochs are skipped, not counted).
@@ -191,6 +294,14 @@ pub struct EpochOutcome {
     pub aborted: bool,
     /// Exclusive end of the last executed epoch (0 if none ran).
     pub last_horizon: Cycle,
+    /// Epochs whose horizon the adaptive planner extended past the fixed
+    /// grid slot (always 0 under [`LookaheadMode::Fixed`]).
+    pub extensions: u64,
+    /// Total simulated cycles covered by executed epochs (saturating), so
+    /// `epoch_cycles / epochs` is the mean epoch length.
+    pub epoch_cycles: u64,
+    /// Length of the longest executed epoch in cycles.
+    pub max_epoch_len: Cycle,
 }
 
 impl EpochOutcome {
@@ -201,6 +312,31 @@ impl EpochOutcome {
             routed_events: 0,
             aborted: false,
             last_horizon: 0,
+            extensions: 0,
+            epoch_cycles: 0,
+            max_epoch_len: 0,
+        }
+    }
+
+    /// Records one executed epoch `[start, horizon)` planned on the fixed
+    /// grid as `[start, planned)`.
+    fn note_epoch(&mut self, start: Cycle, planned: Cycle, horizon: Cycle) {
+        self.epochs += 1;
+        self.last_horizon = horizon;
+        if horizon > planned {
+            self.extensions += 1;
+        }
+        let len = horizon - start;
+        self.epoch_cycles = self.epoch_cycles.saturating_add(len);
+        self.max_epoch_len = self.max_epoch_len.max(len);
+    }
+
+    /// Mean executed-epoch length in cycles (0 if none ran).
+    pub fn mean_epoch_len(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.epoch_cycles as f64 / self.epochs as f64
         }
     }
 }
@@ -259,6 +395,19 @@ impl<M> Router<M> {
             .min()
     }
 
+    /// Earliest staged arrivals split around `at`: the minimum strictly
+    /// before it (delivered by a `take_due_into(_, at, _)` pass) and the
+    /// minimum at or after it (left staged by that pass).
+    fn arrival_split(&self, at: Cycle) -> (Option<Cycle>, Option<Cycle>) {
+        let mut due: Option<Cycle> = None;
+        let mut held: Option<Cycle> = None;
+        for &(arr, _, _) in self.staged.iter().flatten() {
+            let bucket = if arr < at { &mut due } else { &mut held };
+            *bucket = Some(bucket.map_or(arr, |b| b.min(arr)));
+        }
+        (due, held)
+    }
+
     /// Moves the events for shard `dst` arriving before `horizon` into
     /// `out`, in canonical `(arrival, origin, seq)` order. `out` must be
     /// empty; its capacity is reused across epochs.
@@ -292,6 +441,55 @@ fn next_epoch(
     Some((start, start.saturating_add(epoch)))
 }
 
+/// Horizon of the last epoch the fixed grid can execute before `max_cycles`
+/// aborts the run. Extended horizons never cross it, which is what makes an
+/// aborted run process the exact same event set under either
+/// [`LookaheadMode`]: both process every reachable event strictly before
+/// this cycle, then abort (the next plan's start exceeds `max_cycles` iff
+/// the earliest remaining event is at or past it).
+fn epoch_limit(max_cycles: Cycle, epoch: Cycle) -> Cycle {
+    ((max_cycles / epoch) * epoch).saturating_add(epoch)
+}
+
+/// The adaptive extension: pushes `planned` (the fixed-grid horizon) out to
+/// the forecast floor plus one epoch, clamped by the earliest staged
+/// arrival at or past `planned` and by `limit` (see [`epoch_limit`]).
+///
+/// `floor` — the earliest cycle at which *anything* could emit — is the
+/// minimum of every shard's [`ShardSim::earliest_emission`] and of any
+/// staged arrival due *inside* the planned epoch (`due_arrival`: a delivery
+/// can trigger an emission at its arrival cycle). An emission at `t ≥ floor`
+/// arrives at `t + latency ≥ floor + epoch` (the driver requires `epoch ≤`
+/// the model's minimum latency). Staged arrivals at or past `planned`
+/// (`held_arrival` is the earliest of them — note: *not* necessarily the
+/// router's global minimum, which may be due this epoch) are not delivered
+/// this epoch, hence the clip.
+///
+/// Every bound is rounded *down* to the epoch grid, so extended horizons
+/// are always grid points and an extension collapses whole fixed-grid
+/// epochs exactly. This is required for bit-identity, not just causality:
+/// an arrival at cycle `a` enters its destination's event queue at the grid
+/// boundary `(a / epoch) * epoch` (the start of the epoch that delivers
+/// it), *before* any same-cycle local event scheduled by a pop past that
+/// boundary. An off-grid horizon would run those pops first and flip
+/// same-cycle insertion order. Grid-rounding `floor + epoch` (the earliest
+/// possible arrival of this epoch's emissions) and the held arrival keeps
+/// every insertion boundary outside the extended window.
+fn extend_horizon(
+    forecasts: impl Iterator<Item = Option<Cycle>>,
+    due_arrival: Option<Cycle>,
+    held_arrival: Option<Cycle>,
+    planned: Cycle,
+    epoch: Cycle,
+    limit: Cycle,
+) -> Cycle {
+    let grid = |at: Cycle| (at / epoch) * epoch;
+    let floor = forecasts.flatten().chain(due_arrival).min();
+    let clip = held_arrival.map_or(Cycle::MAX, grid);
+    let candidate = floor.map_or(Cycle::MAX, |f| grid(f.saturating_add(epoch)));
+    planned.max(candidate.min(clip).min(limit))
+}
+
 /// Drives `shards` in lock-step epochs of `epoch` cycles until every queue
 /// and every in-flight cross-shard event has drained, or until the first
 /// epoch starting beyond `max_cycles`.
@@ -305,7 +503,11 @@ fn next_epoch(
 /// to the epoch-grid slot containing the earliest pending event, so idle
 /// machines cost nothing. The epoch grid itself (multiples of `epoch`) is
 /// fixed, which keeps delivery points — and therefore results — independent
-/// of the fast-forwarding.
+/// of the fast-forwarding. Under [`LookaheadMode::Adaptive`] horizons
+/// additionally extend past the grid slot when the shards' traffic
+/// forecasts allow it (see the module docs); deliveries still happen at the
+/// planned grid boundary, so results are bit-identical across lookahead
+/// modes too.
 ///
 /// # Panics
 ///
@@ -316,12 +518,14 @@ pub fn run_epochs<S: ShardSim>(
     epoch: Cycle,
     max_cycles: Cycle,
     mode: ExecMode,
+    lookahead: LookaheadMode,
 ) -> EpochOutcome {
     assert!(epoch > 0, "epoch length must be non-zero");
     assert!(!shards.is_empty(), "need at least one shard");
+
     match mode {
-        ExecMode::Sequential => run_sequential(shards, shard_of, epoch, max_cycles),
-        ExecMode::Parallel => run_parallel(shards, shard_of, epoch, max_cycles),
+        ExecMode::Sequential => run_sequential(shards, shard_of, epoch, max_cycles, lookahead),
+        ExecMode::Parallel => run_parallel(shards, shard_of, epoch, max_cycles, lookahead),
     }
 }
 
@@ -330,29 +534,49 @@ fn run_sequential<S: ShardSim>(
     shard_of: &dyn Fn(u32) -> usize,
     epoch: Cycle,
     max_cycles: Cycle,
+    lookahead: LookaheadMode,
 ) -> EpochOutcome {
+    let limit = epoch_limit(max_cycles, epoch);
     let mut router = Router::new(shards.len());
     let mut outbox = Outbox::new();
     let mut inbound: Vec<(Cycle, Stamp, S::Msg)> = Vec::new();
+    // Per-shard earliest event times, peeked once per epoch and shared by
+    // the plan and the adaptive forecast (see `forecast_of`).
+    let mut times: Vec<Option<Cycle>> = Vec::with_capacity(shards.len());
     let mut outcome = EpochOutcome::empty();
     loop {
-        let plan = next_epoch(
-            shards.iter().map(|s| s.next_event_time()),
-            router.next_arrival(),
-            epoch,
-        );
-        let Some((start, horizon)) = plan else {
+        times.clear();
+        times.extend(shards.iter().map(|s| s.next_event_time()));
+        let plan = next_epoch(times.iter().copied(), router.next_arrival(), epoch);
+        let Some((start, planned)) = plan else {
             break; // fully drained
         };
         if start > max_cycles {
             outcome.aborted = true;
             break;
         }
-        outcome.epochs += 1;
-        outcome.last_horizon = horizon;
+        let horizon = match lookahead {
+            LookaheadMode::Fixed => planned,
+            LookaheadMode::Adaptive => {
+                let (due, held) = router.arrival_split(planned);
+                extend_horizon(
+                    shards.iter().zip(&times).map(|(s, &t)| forecast_of(s, t)),
+                    due,
+                    held,
+                    planned,
+                    epoch,
+                    limit,
+                )
+            }
+        };
+        outcome.note_epoch(start, planned, horizon);
         let routed_before = router.routed;
         for (i, shard) in shards.iter_mut().enumerate() {
-            router.take_due_into(i, horizon, &mut inbound);
+            // Deliveries use the *planned* grid horizon: the extension clip
+            // guarantees no staged arrival lies in [planned, horizon), so
+            // the due set is identical — but the grid boundary is the
+            // delivery point every lookahead mode shares.
+            router.take_due_into(i, planned, &mut inbound);
             for (at, _, msg) in inbound.drain(..) {
                 shard.accept(at, msg);
             }
@@ -398,6 +622,9 @@ struct Slot<M> {
     /// The shard's earliest pending event after its last epoch (`NO_EVENT`
     /// when drained).
     next_event: AtomicU64,
+    /// The shard's traffic forecast after its last epoch
+    /// ([`ShardSim::earliest_emission`]; `NO_EVENT` when it cannot emit).
+    earliest_emission: AtomicU64,
     /// Events due in the epoch being published, in canonical order. Filled
     /// by the finisher, drained by the owning worker; capacity is reused.
     inbound: Mutex<Vec<(Cycle, Stamp, M)>>,
@@ -441,9 +668,17 @@ struct Shared<M> {
     epochs: AtomicU64,
     exchanges: AtomicU64,
     last_horizon: AtomicU64,
+    // The epoch-shape statistics below are written only by finishers, which
+    // the barrier serializes — plain load/store suffices.
+    extensions: AtomicU64,
+    epoch_cycles: AtomicU64,
+    max_epoch_len: AtomicU64,
     aborted: AtomicBool,
     epoch: Cycle,
     max_cycles: Cycle,
+    /// Extension ceiling (see [`epoch_limit`]).
+    limit: Cycle,
+    lookahead: LookaheadMode,
 }
 
 impl<M> Shared<M> {
@@ -541,12 +776,38 @@ fn finish_epoch<M: Send>(
             shared.aborted.store(true, Ordering::Relaxed);
             shared.publish(PLAN_ABORT, 0);
         }
-        Some((_, horizon)) => {
+        Some((start, planned)) => {
+            let horizon = match shared.lookahead {
+                LookaheadMode::Fixed => planned,
+                LookaheadMode::Adaptive => {
+                    let forecasts = shared.slots.iter().map(|slot| {
+                        let at = slot.earliest_emission.load(Ordering::Relaxed);
+                        (at != NO_EVENT).then_some(at)
+                    });
+                    let (due, held) = router
+                        .as_ref()
+                        .map_or((None, None), |r| r.arrival_split(planned));
+                    extend_horizon(forecasts, due, held, planned, shared.epoch, shared.limit)
+                }
+            };
             shared.epochs.fetch_add(1, Ordering::Relaxed);
             shared.last_horizon.store(horizon, Ordering::Relaxed);
+            if horizon > planned {
+                shared.extensions.fetch_add(1, Ordering::Relaxed);
+            }
+            let len = horizon - start;
+            let sum = shared.epoch_cycles.load(Ordering::Relaxed);
+            shared
+                .epoch_cycles
+                .store(sum.saturating_add(len), Ordering::Relaxed);
+            let max = shared.max_epoch_len.load(Ordering::Relaxed);
+            shared.max_epoch_len.store(max.max(len), Ordering::Relaxed);
             if let Some(router) = router.as_mut() {
                 for (i, slot) in shared.slots.iter().enumerate() {
-                    router.take_due_into(i, horizon, &mut slot.inbound.lock().unwrap());
+                    // The planned grid horizon, matching the sequential
+                    // driver: the extension clip guarantees nothing is
+                    // staged in [planned, horizon).
+                    router.take_due_into(i, planned, &mut slot.inbound.lock().unwrap());
                 }
                 shared
                     .staged_pending
@@ -591,10 +852,18 @@ fn run_worker<S: ShardSim>(
             debug_assert!(outbound.is_empty(), "previous epoch's emissions unrouted");
             std::mem::swap(&mut *outbound, &mut outbox.staged);
         }
-        shared.slots[index].next_event.store(
-            shard.next_event_time().unwrap_or(NO_EVENT),
-            Ordering::Relaxed,
-        );
+        let next_event = shard.next_event_time();
+        shared.slots[index]
+            .next_event
+            .store(next_event.unwrap_or(NO_EVENT), Ordering::Relaxed);
+        // Only the adaptive planner reads the forecast slot; fixed mode
+        // skips the (possibly second) queue peek entirely.
+        if shared.lookahead == LookaheadMode::Adaptive {
+            shared.slots[index].earliest_emission.store(
+                forecast_of(shard, next_event).unwrap_or(NO_EVENT),
+                Ordering::Relaxed,
+            );
+        }
         // The release half of this increment publishes everything the worker
         // wrote above; the finisher's acquire half (reading the last value of
         // the release sequence) observes all of it.
@@ -610,24 +879,38 @@ fn run_parallel<S: ShardSim>(
     shard_of: &(dyn Fn(u32) -> usize + Sync),
     epoch: Cycle,
     max_cycles: Cycle,
+    lookahead: LookaheadMode,
 ) -> EpochOutcome {
+    let limit = epoch_limit(max_cycles, epoch);
     let mut outcome = EpochOutcome::empty();
     // Plan the first epoch on the calling thread (the workers plan every
     // subsequent one at their barriers).
-    let Some((start, horizon)) =
-        next_epoch(shards.iter().map(|s| s.next_event_time()), None, epoch)
-    else {
+    let times: Vec<Option<Cycle>> = shards.iter().map(|s| s.next_event_time()).collect();
+    let Some((start, planned)) = next_epoch(times.iter().copied(), None, epoch) else {
         return outcome; // nothing scheduled at all
     };
     if start > max_cycles {
         outcome.aborted = true;
         return outcome;
     }
+    let horizon = match lookahead {
+        LookaheadMode::Fixed => planned,
+        LookaheadMode::Adaptive => extend_horizon(
+            shards.iter().zip(&times).map(|(s, &t)| forecast_of(s, t)),
+            None,
+            None,
+            planned,
+            epoch,
+            limit,
+        ),
+    };
+    outcome.note_epoch(start, planned, horizon);
     let shared = Shared {
         slots: shards
             .iter()
             .map(|_| Slot {
                 next_event: AtomicU64::new(NO_EVENT),
+                earliest_emission: AtomicU64::new(NO_EVENT),
                 inbound: Mutex::new(Vec::new()),
                 outbound: Mutex::new(Vec::new()),
                 thread: Mutex::new(None),
@@ -641,12 +924,17 @@ fn run_parallel<S: ShardSim>(
         plan_state: AtomicU64::new(PLAN_RUN),
         plan_horizon: AtomicU64::new(horizon),
         poisoned: AtomicBool::new(false),
-        epochs: AtomicU64::new(1),
+        epochs: AtomicU64::new(outcome.epochs),
         exchanges: AtomicU64::new(0),
         last_horizon: AtomicU64::new(horizon),
+        extensions: AtomicU64::new(outcome.extensions),
+        epoch_cycles: AtomicU64::new(outcome.epoch_cycles),
+        max_epoch_len: AtomicU64::new(outcome.max_epoch_len),
         aborted: AtomicBool::new(false),
         epoch,
         max_cycles,
+        limit,
+        lookahead,
     };
     // Publish the initial plan before any worker starts waiting.
     shared.generation.store(1, Ordering::Release);
@@ -662,6 +950,9 @@ fn run_parallel<S: ShardSim>(
     outcome.exchanges = shared.exchanges.load(Ordering::Relaxed);
     outcome.aborted = shared.aborted.load(Ordering::Relaxed);
     outcome.last_horizon = shared.last_horizon.load(Ordering::Relaxed);
+    outcome.extensions = shared.extensions.load(Ordering::Relaxed);
+    outcome.epoch_cycles = shared.epoch_cycles.load(Ordering::Relaxed);
+    outcome.max_epoch_len = shared.max_epoch_len.load(Ordering::Relaxed);
     outcome.routed_events = shared.router.lock().unwrap().routed;
     outcome
 }
@@ -695,6 +986,12 @@ mod tests {
         hops_left: Vec<u64>,
         sum: Vec<u64>,
         seq: Vec<u64>,
+        /// Honest per-counter traffic forecast: the cycle at which the
+        /// counter's pending event chain next reaches `hop` (a pending
+        /// `Hop` emits as soon as it pops; a local grind chain emits when
+        /// its last link pops). `None` once the counter has emitted and is
+        /// waiting for the token to come around again.
+        forecast: Vec<Option<Cycle>>,
         events: EventQueue<(u32, Ev)>,
     }
 
@@ -721,12 +1018,14 @@ mod tests {
                 hops_left: vec![hops; count as usize],
                 sum: vec![0; count as usize],
                 seq: vec![0; count as usize],
+                forecast: (0..count).map(|i| Some(u64::from(base + i))).collect(),
                 events,
             }
         }
 
         fn hop(&mut self, id: u32, token: u64, now: Cycle, outbox: &mut Outbox<Ev>) {
             let slot = (id - self.base) as usize;
+            self.forecast[slot] = None;
             if self.hops_left[slot] == 0 {
                 return;
             }
@@ -756,6 +1055,12 @@ mod tests {
             let dst = match &msg {
                 Ev::Hop { dst, .. } | Ev::Local { dst, .. } => *dst,
             };
+            if matches!(msg, Ev::Hop { .. }) {
+                // A freshly delivered token emits no earlier than its own
+                // arrival (later if the counter grinds first) — deliberately
+                // conservative; the pop below tightens it to the chain end.
+                self.forecast[(dst - self.base) as usize] = Some(at);
+            }
             self.events.schedule(at, (dst, msg));
         }
 
@@ -768,7 +1073,10 @@ mod tests {
                         if self.local_work > 0 {
                             // Grind locally before passing the token on; the
                             // grind is node-local, so these epochs emit
-                            // nothing.
+                            // nothing. The chain's last link (`left == 1`)
+                            // pops exactly `local_work` strides from now and
+                            // calls `hop` — the exact next emission time.
+                            self.forecast[slot] = Some(now + LATENCY * self.local_work);
                             self.events.schedule(
                                 now + LATENCY,
                                 (
@@ -809,6 +1117,10 @@ mod tests {
         fn next_event_time(&self) -> Option<Cycle> {
             self.events.peek_time()
         }
+
+        fn earliest_emission(&self) -> Option<Cycle> {
+            self.forecast.iter().flatten().copied().min()
+        }
     }
 
     fn run_ring_with(
@@ -817,6 +1129,7 @@ mod tests {
         hops: u64,
         local_work: u64,
         mode: ExecMode,
+        lookahead: LookaheadMode,
     ) -> (Vec<u64>, EpochOutcome) {
         let mut shards = Vec::new();
         let per = total / shard_count;
@@ -831,7 +1144,7 @@ mod tests {
         }
         let bounds: Vec<u32> = (0..shard_count).map(|s| s * per).collect();
         let shard_of = move |node: u32| -> usize { bounds.partition_point(|&b| b <= node) - 1 };
-        let outcome = run_epochs(&mut shards, &shard_of, LATENCY, Cycle::MAX, mode);
+        let outcome = run_epochs(&mut shards, &shard_of, LATENCY, Cycle::MAX, mode, lookahead);
         let mut sums = Vec::new();
         for shard in &shards {
             sums.extend_from_slice(&shard.sum);
@@ -845,17 +1158,26 @@ mod tests {
         hops: u64,
         mode: ExecMode,
     ) -> (Vec<u64>, EpochOutcome) {
-        run_ring_with(total, shard_count, hops, 0, mode)
+        run_ring_with(total, shard_count, hops, 0, mode, LookaheadMode::Fixed)
     }
 
     #[test]
     fn sharded_ring_is_invariant_across_shard_counts_and_modes() {
         let (reference, _) = run_ring(12, 1, 40, ExecMode::Sequential);
-        for shard_count in [2, 3, 4] {
-            let (seq, _) = run_ring(12, shard_count, 40, ExecMode::Sequential);
-            assert_eq!(seq, reference, "{shard_count} sequential shards diverged");
-            let (par, _) = run_ring(12, shard_count, 40, ExecMode::Parallel);
-            assert_eq!(par, reference, "{shard_count} parallel shards diverged");
+        for lookahead in [LookaheadMode::Fixed, LookaheadMode::Adaptive] {
+            for shard_count in [1, 2, 3, 4] {
+                let (seq, _) =
+                    run_ring_with(12, shard_count, 40, 0, ExecMode::Sequential, lookahead);
+                assert_eq!(
+                    seq, reference,
+                    "{shard_count} sequential shards ({lookahead}) diverged"
+                );
+                let (par, _) = run_ring_with(12, shard_count, 40, 0, ExecMode::Parallel, lookahead);
+                assert_eq!(
+                    par, reference,
+                    "{shard_count} parallel shards ({lookahead}) diverged"
+                );
+            }
         }
     }
 
@@ -873,12 +1195,16 @@ mod tests {
     fn quiescent_epochs_skip_the_exchange() {
         // 30 local grind events between consecutive hops: the overwhelming
         // majority of epochs emit nothing and must not count as exchanges.
-        let (reference, seq) = run_ring_with(6, 1, 4, 30, ExecMode::Sequential);
+        // Pinned to fixed lookahead — the adaptive planner collapses those
+        // quiet epochs outright (covered by the test below), which would
+        // defeat the "many epochs, few exchanges" shape this test needs.
+        let fixed = LookaheadMode::Fixed;
+        let (reference, seq) = run_ring_with(6, 1, 4, 30, ExecMode::Sequential, fixed);
         for shard_count in [2, 3] {
-            let (sums, outcome) = run_ring_with(6, shard_count, 4, 30, ExecMode::Sequential);
+            let (sums, outcome) = run_ring_with(6, shard_count, 4, 30, ExecMode::Sequential, fixed);
             assert_eq!(sums, reference, "{shard_count} sequential shards diverged");
             assert_eq!(outcome, seq, "sequential outcome changed with sharding");
-            let (sums, outcome) = run_ring_with(6, shard_count, 4, 30, ExecMode::Parallel);
+            let (sums, outcome) = run_ring_with(6, shard_count, 4, 30, ExecMode::Parallel, fixed);
             assert_eq!(sums, reference, "{shard_count} parallel shards diverged");
             assert_eq!(
                 outcome.exchanges, seq.exchanges,
@@ -895,32 +1221,79 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_lookahead_collapses_quiet_epochs() {
+        // The same grinding ring as above: under adaptive lookahead the
+        // per-counter forecasts point at the grind-chain ends, so the
+        // planner folds each ~30-epoch quiet stretch into one long epoch.
+        // Simulated results must not move; only the epoch shape may.
+        let (reference, fixed) =
+            run_ring_with(6, 1, 4, 30, ExecMode::Sequential, LookaheadMode::Fixed);
+        let (sums, adaptive) =
+            run_ring_with(6, 1, 4, 30, ExecMode::Sequential, LookaheadMode::Adaptive);
+        assert_eq!(sums, reference, "lookahead mode changed simulated results");
+        assert_eq!(adaptive.routed_events, fixed.routed_events);
+        assert_eq!(adaptive.exchanges, fixed.exchanges);
+        assert!(adaptive.extensions > 0, "no horizon extension taken");
+        assert!(
+            adaptive.epochs * 4 < fixed.epochs,
+            "adaptive should collapse the grind: {} vs {} fixed epochs",
+            adaptive.epochs,
+            fixed.epochs
+        );
+        assert!(adaptive.max_epoch_len > LATENCY);
+        assert!(adaptive.mean_epoch_len() > fixed.mean_epoch_len());
+        // The forecast minima the planner sees are global, so the epoch
+        // shape itself is invariant across shard counts and exec modes.
+        for shard_count in [1, 2, 3] {
+            for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+                let (sums, outcome) =
+                    run_ring_with(6, shard_count, 4, 30, mode, LookaheadMode::Adaptive);
+                assert_eq!(sums, reference, "{shard_count} shards {mode:?} diverged");
+                assert_eq!(
+                    outcome, adaptive,
+                    "adaptive outcome changed with {shard_count} shards {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cycle_limit_aborts_with_pending_work() {
-        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
-            let mut shards = vec![
-                RingShard::new(0, 2, 4, u64::MAX, 0),
-                RingShard::new(2, 2, 4, u64::MAX, 0),
-            ];
-            let shard_of = |node: u32| usize::from(node >= 2);
-            let outcome = run_epochs(&mut shards, &shard_of, LATENCY, 100, mode);
-            assert!(
-                outcome.aborted,
-                "{mode:?}: an endless ring must hit the cycle limit"
-            );
-            assert!(outcome.last_horizon <= 100 + LATENCY, "{mode:?}");
+        for lookahead in [LookaheadMode::Fixed, LookaheadMode::Adaptive] {
+            for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+                let mut shards = vec![
+                    RingShard::new(0, 2, 4, u64::MAX, 0),
+                    RingShard::new(2, 2, 4, u64::MAX, 0),
+                ];
+                let shard_of = |node: u32| usize::from(node >= 2);
+                let outcome = run_epochs(&mut shards, &shard_of, LATENCY, 100, mode, lookahead);
+                assert!(
+                    outcome.aborted,
+                    "{mode:?} {lookahead}: an endless ring must hit the cycle limit"
+                );
+                // Adaptive extension is clamped to the first epoch past the
+                // limit, so aborts land on the same boundary either way.
+                assert!(
+                    outcome.last_horizon <= 100 + LATENCY,
+                    "{mode:?} {lookahead}"
+                );
+            }
         }
     }
 
     #[test]
     fn empty_shards_finish_immediately() {
-        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
-            let mut shards = vec![RingShard::new(0, 2, 4, 0, 0), RingShard::new(2, 2, 4, 0, 0)];
-            for shard in &mut shards {
-                shard.events.clear();
+        for lookahead in [LookaheadMode::Fixed, LookaheadMode::Adaptive] {
+            for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+                let mut shards = vec![RingShard::new(0, 2, 4, 0, 0), RingShard::new(2, 2, 4, 0, 0)];
+                for shard in &mut shards {
+                    shard.events.clear();
+                }
+                let shard_of = |node: u32| usize::from(node >= 2);
+                let outcome =
+                    run_epochs(&mut shards, &shard_of, LATENCY, Cycle::MAX, mode, lookahead);
+                assert_eq!(outcome, EpochOutcome::empty(), "{mode:?} {lookahead}");
             }
-            let shard_of = |node: u32| usize::from(node >= 2);
-            let outcome = run_epochs(&mut shards, &shard_of, LATENCY, Cycle::MAX, mode);
-            assert_eq!(outcome, EpochOutcome::empty(), "{mode:?}");
         }
     }
 
@@ -945,7 +1318,14 @@ mod tests {
         let result = std::panic::catch_unwind(|| {
             let mut shards = vec![Bomb { armed: true }, Bomb { armed: false }];
             let shard_of = |_node: u32| 0usize;
-            run_epochs(&mut shards, &shard_of, LATENCY, 100, ExecMode::Parallel)
+            run_epochs(
+                &mut shards,
+                &shard_of,
+                LATENCY,
+                100,
+                ExecMode::Parallel,
+                LookaheadMode::Fixed,
+            )
         });
         assert!(result.is_err(), "the worker panic must propagate");
     }

@@ -189,6 +189,15 @@ fn wheel_and_heap_backends_are_pop_order_identical() {
             }
             assert_eq!(heap.len(), wheel.len(), "case {case}: length divergence");
             assert_eq!(heap.now(), wheel.now(), "case {case}: clock divergence");
+            // The adaptive-lookahead forecast peeks at the queue through
+            // `next_occupied`; it must be exact (not a lower bound) and
+            // backend-independent, since epoch planning places its result
+            // on the epoch grid.
+            assert_eq!(
+                heap.next_occupied(),
+                wheel.next_occupied(),
+                "case {case}: next_occupied divergence"
+            );
         }
         // Drain: the full remaining sequence must match exactly.
         loop {

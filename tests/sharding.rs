@@ -403,6 +403,56 @@ fn outage_windows_shard_bit_identically() {
     }
 }
 
+/// Determinism invariant 6: the adaptive lookahead extension is invisible
+/// in results. For every NI kind across three traffic shapes (fine-grain
+/// em3d, broadcast-heavy gauss, convergent hotspot) with randomized
+/// machine/shard shapes, an adaptive run — sequential and parallel N-shard —
+/// is bit-identical to the fixed-lookahead `ShardPolicy::Single` reference.
+///
+/// The test profile keeps debug assertions on, so this doubles as the
+/// over-promise oracle for `ShardSim::earliest_emission`: a forecast later
+/// than a real emission trips either the router's lookahead-violation assert
+/// (an arrival staged inside the extended epoch) or the event queue's
+/// scheduled-in-the-past assert (a held arrival delivered behind the clock).
+#[test]
+fn adaptive_lookahead_never_over_promises() {
+    use cni::core::machine::LookaheadMode;
+    let mut rng = DetRng::new(0x0001_00CA_4EAD);
+    for kind in NiKind::ALL {
+        for workload in [Workload::Em3d, Workload::Gauss, Workload::Hotspot] {
+            let nodes = 4 + rng.gen_index(7); // 4..=10
+            let shards = 2 + rng.gen_index(3); // 2..=4
+            let params = WorkloadParams::tiny();
+            let case = format!("{kind}/{workload}: {nodes} nodes, {shards} shards");
+
+            let reference = run(
+                MachineConfig::isca96(nodes, kind)
+                    .with_shards(ShardPolicy::Single)
+                    .with_lookahead(LookaheadMode::Fixed),
+                workload,
+                &params,
+            );
+            assert!(reference.completed, "{case}: reference did not complete");
+
+            for parallel in [false, true] {
+                let adaptive = run(
+                    MachineConfig::isca96(nodes, kind)
+                        .with_shards(ShardPolicy::Fixed(shards))
+                        .with_parallel(parallel)
+                        .with_lookahead(LookaheadMode::Adaptive),
+                    workload,
+                    &params,
+                );
+                assert_eq!(
+                    adaptive, reference,
+                    "{case}: adaptive run (parallel = {parallel}) diverged \
+                     from the fixed-lookahead single-shard reference"
+                );
+            }
+        }
+    }
+}
+
 /// `NodesPerShard` partitions (the "contiguous node group" policy) behave
 /// exactly like their `Fixed` equivalents.
 #[test]
