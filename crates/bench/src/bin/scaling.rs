@@ -8,7 +8,8 @@
 //! if they are not); only the wall-clock column varies.
 //!
 //! Run with `cargo run --release -p cni-bench --bin scaling -- [quick|big]
-//! [--workload NAME] [--lookahead fixed|adaptive] [--json] [--ci]`.
+//! [--workload NAME] [--lookahead fixed|adaptive|speculative] [--json]
+//! [--ci]`.
 //!
 //! * `quick` sweeps 16/64 nodes with smaller inputs; `big` adds 1024 nodes.
 //! * `--workload` picks the workload swept (default em3d, the ROADMAP
@@ -17,15 +18,19 @@
 //! * `--lookahead` selects the epoch planner's horizon policy (default
 //!   adaptive, the config default): `fixed` pins every horizon to the
 //!   `network_latency` grid, `adaptive` lets the traffic forecast collapse
-//!   quiet epochs. The digest column must be identical either way.
+//!   quiet epochs, and `speculative` gambles past the horizon with
+//!   checkpoint/rollback (the commit/rollback/re-executed-cycle counters
+//!   appear in the table and JSON). The digest column must be identical
+//!   in all three modes.
 //! * `--json` emits the sweep in the same trajectory format as `fig8 --json`,
 //!   including the epoch statistics (epochs, extensions, mean/max epoch
-//!   length) that make the extension rate observable per configuration.
+//!   length, speculation commits/rollbacks/re-executed cycles) that make the
+//!   extension and speculation rates observable per configuration.
 //! * `--ci` runs the 64-node / 4-shard smoke configuration (sequential
 //!   1-shard, sequential 4-shard, parallel 4-shard, plus whatever
 //!   `ShardPolicy::Auto` resolves to) **for every CI workload** — em3d and
 //!   the four workloads this repo added beyond the paper's figures — under
-//!   both lookahead modes, cross-checks that every report is bit-identical,
+//!   all three lookahead modes, cross-checks that every report is bit-identical,
 //!   and prints one reference digest line per workload; CI diffs the block
 //!   against `SCALING_ref.txt`, so sharded bit-identity is pinned across
 //!   communication patterns, not just em3d's.
@@ -100,6 +105,9 @@ struct Row {
     extensions: u64,
     mean_epoch_len: f64,
     max_epoch_len: u64,
+    spec_commits: u64,
+    spec_rollbacks: u64,
+    spec_reexec_cycles: u64,
     wall_seconds: f64,
 }
 
@@ -164,6 +172,9 @@ fn run_policy(
         extensions: outcome.map_or(0, |o| o.extensions),
         mean_epoch_len: outcome.map_or(0.0, |o| o.mean_epoch_len()),
         max_epoch_len: outcome.map_or(0, |o| o.max_epoch_len),
+        spec_commits: outcome.map_or(0, |o| o.spec_commits),
+        spec_rollbacks: outcome.map_or(0, |o| o.spec_rollbacks),
+        spec_reexec_cycles: outcome.map_or(0, |o| o.spec_reexec_cycles),
         wall_seconds,
     };
     (report, row)
@@ -228,7 +239,7 @@ fn rows_json(rows: &[Row]) -> String {
         .iter()
         .map(|r| {
             format!(
-                r#"{{"nodes":{},"shards":{},"mode":"{}","lookahead":"{}","cycles":{},"digest":"{:016x}","epochs":{},"extensions":{},"mean_epoch_len":{:.1},"max_epoch_len":{},"wall_seconds":{:.3}}}"#,
+                r#"{{"nodes":{},"shards":{},"mode":"{}","lookahead":"{}","cycles":{},"digest":"{:016x}","epochs":{},"extensions":{},"mean_epoch_len":{:.1},"max_epoch_len":{},"spec_commits":{},"spec_rollbacks":{},"spec_reexec_cycles":{},"wall_seconds":{:.3}}}"#,
                 r.nodes,
                 r.shards,
                 r.mode,
@@ -239,6 +250,9 @@ fn rows_json(rows: &[Row]) -> String {
                 r.extensions,
                 r.mean_epoch_len,
                 r.max_epoch_len,
+                r.spec_commits,
+                r.spec_rollbacks,
+                r.spec_reexec_cycles,
                 r.wall_seconds
             )
         })
@@ -251,12 +265,22 @@ fn print_table(workload: Workload, rows: &[Row]) {
         "Scaling sweep: {workload}, CNI512Q, weak-scaled inputs (digest is the simulated-result hash)"
     );
     println!(
-        "{:>7} {:>7} {:>5} {:>9} {:>14} {:>18} {:>8} {:>7} {:>10}",
-        "nodes", "shards", "mode", "lookahead", "cycles", "digest", "epochs", "ext", "wall (s)"
+        "{:>7} {:>7} {:>5} {:>11} {:>14} {:>18} {:>8} {:>7} {:>7} {:>5} {:>10}",
+        "nodes",
+        "shards",
+        "mode",
+        "lookahead",
+        "cycles",
+        "digest",
+        "epochs",
+        "ext",
+        "commit",
+        "rb",
+        "wall (s)"
     );
     for r in rows {
         println!(
-            "{:>7} {:>7} {:>5} {:>9} {:>14} {:>18x} {:>8} {:>7} {:>10.3}",
+            "{:>7} {:>7} {:>5} {:>11} {:>14} {:>18x} {:>8} {:>7} {:>7} {:>5} {:>10.3}",
             r.nodes,
             r.shards,
             r.mode,
@@ -265,6 +289,8 @@ fn print_table(workload: Workload, rows: &[Row]) {
             r.digest,
             r.epochs,
             r.extensions,
+            r.spec_commits,
+            r.spec_rollbacks,
             r.wall_seconds
         );
     }
@@ -273,16 +299,21 @@ fn print_table(workload: Workload, rows: &[Row]) {
 }
 
 /// The CI smoke configuration, per workload: 64 nodes, 1-vs-4 shards, both
-/// execution modes and both lookahead modes, plus whatever
+/// execution modes and all three lookahead modes, plus whatever
 /// `ShardPolicy::Auto` resolves to on the CI host. The printed digest block
-/// is computed from the fixed-lookahead reference, and every adaptive run is
-/// cross-checked against it — so the committed `SCALING_ref.txt` lines stay
-/// valid (and unchanged) whichever lookahead mode a run uses.
+/// is computed from the fixed-lookahead reference, and every adaptive and
+/// speculative run is cross-checked against it — so the committed
+/// `SCALING_ref.txt` lines stay valid (and unchanged) whichever lookahead
+/// mode a run uses.
 fn run_ci() {
     let quick = true;
     for workload in CI_WORKLOADS {
         let (reference, base) = run_one(workload, 64, 1, false, LookaheadMode::Fixed, quick);
-        for lookahead in [LookaheadMode::Fixed, LookaheadMode::Adaptive] {
+        for lookahead in [
+            LookaheadMode::Fixed,
+            LookaheadMode::Adaptive,
+            LookaheadMode::Speculative,
+        ] {
             for (shards, parallel) in [(1usize, false), (4, false), (4, true)] {
                 let (report, row) = run_one(workload, 64, shards, parallel, lookahead, quick);
                 if report != reference {
@@ -311,8 +342,8 @@ fn run_ci() {
     }
 }
 
-const USAGE: &str =
-    "scaling [quick|big] [--workload NAME] [--lookahead fixed|adaptive] [--json] [--ci]";
+const USAGE: &str = "scaling [quick|big] [--workload NAME] \
+                     [--lookahead fixed|adaptive|speculative] [--json] [--ci]";
 
 fn usage_error(message: &str) -> ! {
     cni_bench::cli::usage_error(USAGE, message);
@@ -339,10 +370,11 @@ fn main() {
             "--lookahead" => match args.next().as_deref() {
                 Some("fixed") => lookahead = Some(LookaheadMode::Fixed),
                 Some("adaptive") => lookahead = Some(LookaheadMode::Adaptive),
+                Some("speculative") => lookahead = Some(LookaheadMode::Speculative),
                 Some(other) => usage_error(&format!(
-                    "--lookahead takes fixed or adaptive, got {other:?}"
+                    "--lookahead takes fixed, adaptive or speculative, got {other:?}"
                 )),
-                None => usage_error("--lookahead takes fixed or adaptive"),
+                None => usage_error("--lookahead takes fixed, adaptive or speculative"),
             },
             "quick" | "big" | "scaled" if mode.is_none() => mode = Some(arg),
             other => usage_error(&format!("unrecognized argument {other:?}")),
@@ -352,7 +384,7 @@ fn main() {
         if workload.is_some() || json || mode.is_some() || lookahead.is_some() {
             usage_error(
                 "--ci runs its fixed smoke configuration (quick inputs, 64 nodes, \
-                 em3d/barnes/dsmc/unstructured/hotspot, both lookahead modes) and prints \
+                 em3d/barnes/dsmc/unstructured/hotspot, all lookahead modes) and prints \
                  the digest block CI pins; it cannot be combined with a mode, --workload, \
                  --lookahead or --json",
             );

@@ -299,9 +299,12 @@ pub fn occupancy_campaign(tier: ParamsTier, workloads: &[Workload]) -> Campaign 
 
 /// Epoch-planner statistics: every workload under every NI on the memory
 /// bus, reporting the sharded driver's schedule — epochs executed, adaptive
-/// lookahead extensions taken, mean/max epoch length. The cells are **the
+/// lookahead extensions taken, mean/max epoch length, and (from the paired
+/// [`ExperimentSpec::Speculation`] cells) the speculative planner's
+/// commit/rollback record. The conservative half of the cells are **the
 /// same runs** as the occupancy campaign (and Figure 8 panel (a)), so a
-/// report run executes them once and this table is free.
+/// report run executes those once and only the speculative half costs
+/// extra.
 pub fn lookahead_campaign(tier: ParamsTier, workloads: &[Workload]) -> Campaign {
     let nodes = tier.nodes();
     let mut cells = Vec::new();
@@ -316,9 +319,21 @@ pub fn lookahead_campaign(tier: ParamsTier, workloads: &[Workload]) -> Campaign 
             });
         }
     }
+    // The speculative twins follow as one block, so the renderer can pair
+    // row `i` with row `i + workloads × NIs`.
+    for &workload in workloads {
+        for ni in NiKind::ALL {
+            cells.push(ExperimentSpec::Speculation {
+                workload,
+                ni,
+                nodes,
+                tier,
+            });
+        }
+    }
     Campaign {
         name: "lookahead",
-        title: "Epoch planner — adaptive lookahead statistics".to_owned(),
+        title: "Epoch planner — lookahead and speculation statistics".to_owned(),
         tier,
         workloads: workloads.to_vec(),
         cells,
@@ -666,13 +681,17 @@ fn render_lookahead(run: &CampaignRun) -> String {
     let cells = parsed_cells(run);
     let mut out = format!(
         "The sharded epoch driver's schedule under the default adaptive \
-         lookahead (`--lookahead fixed|adaptive` on the harnesses): epochs \
-         executed, horizons the traffic forecast extended past the fixed \
-         `network_latency` grid, and the resulting epoch lengths in cycles. \
-         Extensions collapse quiet grid slots into one barrier pass; the \
-         simulated results are bit-identical either way (determinism \
-         invariant 6), so only the schedule shape varies. {} nodes, `{}` \
-         inputs, memory bus.\n\n",
+         lookahead and under speculative execution (`--lookahead \
+         fixed|adaptive|speculative` on the harnesses): epochs executed, \
+         horizons the traffic forecast extended past the fixed \
+         `network_latency` grid, the resulting epoch lengths in cycles, and \
+         the speculative planner's gamble record — rounds committed, rounds \
+         rolled back, and the simulated cycles re-executed paying for the \
+         rollbacks. Extensions collapse quiet grid slots into one barrier \
+         pass; the simulated results are bit-identical in every mode \
+         (determinism invariants 6 and 7 — the campaign asserts the digests \
+         match), so only the schedule shape varies. {} nodes, `{}` inputs, \
+         memory bus.\n\n",
         run.tier.nodes(),
         run.tier
     );
@@ -684,17 +703,41 @@ fn render_lookahead(run: &CampaignRun) -> String {
         "ext rate",
         "mean epoch",
         "max epoch",
+        "spec epochs",
+        "commits",
+        "rollbacks",
+        "rb rate",
+        "re-exec cycles",
     ]
     .map(str::to_owned)
     .to_vec();
+    // The conservative block comes first, the speculative twins second (see
+    // `lookahead_campaign`).
+    let half = run.workloads.len() * NiKind::ALL.len();
     let mut rows = Vec::new();
     let mut index = 0;
     for &workload in &run.workloads {
         for ni in NiKind::ALL {
             let cell = &cells[index];
+            let spec = &cells[index + half];
             index += 1;
             let epochs = cell.num("epochs");
             let extensions = cell.num("epoch_extensions");
+            let spec_epochs = spec.num("epochs");
+            let commits = spec.num("spec_commits");
+            let rollbacks = spec.num("spec_rollbacks");
+            let resolved = commits + rollbacks;
+            fn digest(c: &Json) -> &str {
+                c.get("report_digest")
+                    .and_then(Json::as_str)
+                    .expect("macro and speculation cells carry report digests")
+            }
+            assert_eq!(
+                digest(cell),
+                digest(spec),
+                "{workload}/{ni}: speculation changed the simulated result \
+                 (determinism invariant 7 violated)"
+            );
             rows.push(vec![
                 workload.to_string(),
                 ni.to_string(),
@@ -703,6 +746,11 @@ fn render_lookahead(run: &CampaignRun) -> String {
                 format!("{:.1}%", 100.0 * extensions / epochs.max(1.0)),
                 format!("{:.1}", cell.num("mean_epoch_len")),
                 format!("{:.0}", cell.num("max_epoch_len")),
+                format!("{spec_epochs:.0}"),
+                format!("{commits:.0}"),
+                format!("{rollbacks:.0}"),
+                format!("{:.1}%", 100.0 * rollbacks / resolved.max(1.0)),
+                format!("{:.0}", spec.num("spec_reexec_cycles")),
             ]);
         }
     }
@@ -710,10 +758,13 @@ fn render_lookahead(run: &CampaignRun) -> String {
     out.push_str(
         "\nDense zero-fault workloads keep every pending event a potential \
          emitter, so their conservative forecast rarely clears a whole grid \
-         slot — extension rates near zero are expected here. The extension \
-         pays off when pending work cannot emit (quiescent retransmission \
-         timers, drained shards mid-run), which fault campaigns and \
-         long-tailed runs hit; see ROADMAP's performance notes.\n",
+         slot — extension rates near zero are expected here. Speculation is \
+         built for exactly that regime: it gambles past the horizon without \
+         asking the forecast, validates against the traffic that actually \
+         arrived, and re-executes the round conservatively when the gamble \
+         loses. The rollback rate and re-executed cycles are the price; the \
+         epoch-count reduction (`epochs` vs `spec epochs`) is the win; the \
+         results columns of every other table are untouched either way.\n",
     );
     out
 }
@@ -1010,7 +1061,8 @@ mod tests {
         let occupancy = occupancy_campaign(ParamsTier::Quick, &Workload::ALL);
         assert_eq!(occupancy.cells.len(), workloads * 5);
         let lookahead = lookahead_campaign(ParamsTier::Quick, &Workload::ALL);
-        assert_eq!(lookahead.cells.len(), workloads * 5);
+        // Conservative block + the speculative twins.
+        assert_eq!(lookahead.cells.len(), workloads * 5 * 2);
         assert_eq!(ablation_campaign(ParamsTier::Quick).cells.len(), 5);
         // 3 workloads × 5 NIs × 3 quick rates (5 rates at scaled/paper).
         assert_eq!(
@@ -1026,8 +1078,9 @@ mod tests {
 
     #[test]
     fn occupancy_cells_are_a_subset_of_fig8s() {
-        // The dedup story: every occupancy and lookahead run is already a
-        // Figure 8 panel (a) run, so a report run executes them once.
+        // The dedup story: every occupancy run and every *conservative*
+        // lookahead run is already a Figure 8 panel (a) run, so a report
+        // run executes them once. Only the speculative twins are new work.
         let fig8 = fig8_campaign(ParamsTier::Scaled, &Workload::ALL);
         let fig8_digests: std::collections::HashSet<u64> =
             fig8.cells.iter().map(ExperimentSpec::digest).collect();
@@ -1036,6 +1089,15 @@ mod tests {
             lookahead_campaign(ParamsTier::Scaled, &Workload::ALL),
         ] {
             for cell in &campaign.cells {
+                if matches!(cell, ExperimentSpec::Speculation { .. }) {
+                    assert!(
+                        !fig8_digests.contains(&cell.digest()),
+                        "{} speculative cell {} must be a distinct run",
+                        campaign.name,
+                        cell.label()
+                    );
+                    continue;
+                }
                 assert!(
                     fig8_digests.contains(&cell.digest()),
                     "{} cell {} not shared with fig8",

@@ -17,7 +17,7 @@
 //! disk and compared across executor modes.
 
 use cni_core::digest::{fnv64_of_str, Fnv64};
-use cni_core::machine::{MachineConfig, ShardPolicy};
+use cni_core::machine::{LookaheadMode, MachineConfig, ShardPolicy};
 use cni_core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
 use cni_mem::system::DeviceLocation;
 use cni_mem::timing::TimingConfig;
@@ -135,6 +135,24 @@ pub enum ExperimentSpec {
         /// Input-size tier.
         tier: ParamsTier,
     },
+    /// One speculative-lookahead schedule measurement: `workload` on an
+    /// `nodes`-node machine with `ni` on the memory bus, driven with
+    /// [`LookaheadMode::Speculative`]. The simulated result is bit-identical
+    /// to the matching [`ExperimentSpec::Macro`] cell (determinism
+    /// invariant 7 — the result JSON repeats the report digest so the
+    /// campaign can assert it); what this cell measures is the *schedule*:
+    /// epochs, committed and rolled-back gambles, and the re-executed
+    /// cycles rollbacks paid.
+    Speculation {
+        /// The benchmark.
+        workload: Workload,
+        /// Network interface.
+        ni: NiKind,
+        /// Machine size in nodes.
+        nodes: usize,
+        /// Input-size tier.
+        tier: ParamsTier,
+    },
     /// The Table 1 taxonomy — pure data, no simulation; a cell so Table 1
     /// renders through the same pipeline as everything else.
     Taxonomy,
@@ -233,6 +251,14 @@ impl ExperimentSpec {
                 tier,
             } => format!(
                 r#"{{"kind":"resilience","workload":"{workload}","ni":"{ni}","fault_ppm":{fault_ppm},"fault_seed":{RESILIENCE_FAULT_SEED},"nodes":{nodes},"tier":"{tier}"}}"#
+            ),
+            ExperimentSpec::Speculation {
+                workload,
+                ni,
+                nodes,
+                tier,
+            } => format!(
+                r#"{{"kind":"speculation","workload":"{workload}","ni":"{ni}","location":"memory","nodes":{nodes},"tier":"{tier}"}}"#
             ),
             ExperimentSpec::Taxonomy => r#"{"kind":"taxonomy"}"#.to_owned(),
         }
@@ -382,6 +408,33 @@ impl ExperimentSpec {
                     report_digest(&report)
                 )
             }
+            ExperimentSpec::Speculation {
+                workload,
+                ni,
+                nodes,
+                tier,
+            } => {
+                let cfg = tune(MachineConfig::for_bus(nodes, ni, DeviceLocation::MemoryBus))
+                    .with_lookahead(LookaheadMode::Speculative);
+                let (report, outcome) = run_workload_outcome(workload, &cfg, &tier.params());
+                // The digest must match the conservative Macro cell for the
+                // same (workload, ni, nodes, tier) — invariant 7. The
+                // schedule statistics are what differ: gambles committed and
+                // rolled back, plus the cycles re-executed paying for the
+                // rollbacks.
+                format!(
+                    r#"{{"cycles":{},"epochs":{},"epoch_extensions":{},"mean_epoch_len":{:.1},"max_epoch_len":{},"spec_commits":{},"spec_rollbacks":{},"spec_reexec_cycles":{},"report_digest":"{:016x}"}}"#,
+                    report.cycles,
+                    outcome.epochs,
+                    outcome.extensions,
+                    outcome.mean_epoch_len(),
+                    outcome.max_epoch_len,
+                    outcome.spec_commits,
+                    outcome.spec_rollbacks,
+                    outcome.spec_reexec_cycles,
+                    report_digest(&report)
+                )
+            }
             ExperimentSpec::Taxonomy => {
                 let rows: Vec<String> = NiKind::ALL
                     .into_iter()
@@ -456,6 +509,12 @@ impl ExperimentSpec {
                 nodes,
                 tier,
             } => format!("resilience/{workload}/{ni}/{fault_ppm}ppm/{nodes}n/{tier}"),
+            ExperimentSpec::Speculation {
+                workload,
+                ni,
+                nodes,
+                tier,
+            } => format!("speculation/{workload}/{ni}/{nodes}n/{tier}"),
             ExperimentSpec::Taxonomy => "taxonomy".to_owned(),
         }
     }

@@ -87,6 +87,7 @@ pub use cni_sim::sharded::{EpochOutcome, LookaheadMode};
 pub use config::{MachineConfig, ShardPolicy};
 pub use node::{NodeCore, NodeStats, ReliableState};
 pub use program::{IdleProgram, ProcCtx, Program};
+pub use shard::ShardCheckpoint;
 
 use shard::MachineShard;
 
@@ -430,6 +431,7 @@ mod tests {
     use std::any::Any;
 
     /// Sends `count` small messages to node 1 and completes.
+    #[derive(Clone)]
     struct Pitcher {
         count: usize,
         sent: usize,
@@ -453,9 +455,13 @@ mod tests {
         fn as_any(&self) -> &dyn Any {
             self
         }
+        fn clone_box(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
+        }
     }
 
     /// Counts messages until it has seen `expect` of them.
+    #[derive(Clone)]
     struct Catcher {
         expect: usize,
         got: usize,
@@ -476,6 +482,9 @@ mod tests {
         }
         fn as_any(&self) -> &dyn Any {
             self
+        }
+        fn clone_box(&self) -> Box<dyn Program> {
+            Box::new(self.clone())
         }
     }
 
@@ -552,6 +561,7 @@ mod tests {
 
     #[test]
     fn local_sends_complete_without_network_traffic() {
+        #[derive(Clone)]
         struct LocalTalker {
             done: bool,
         }
@@ -571,6 +581,9 @@ mod tests {
             }
             fn as_any(&self) -> &dyn Any {
                 self
+            }
+            fn clone_box(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
             }
         }
         let cfg = MachineConfig::isca96(1, NiKind::Cni16Qm);
@@ -621,6 +634,7 @@ mod tests {
     #[test]
     fn cycle_limit_abort_is_reported_distinctly() {
         // An endless pitcher: never done, always sending.
+        #[derive(Clone)]
         struct Firehose;
         impl Program for Firehose {
             fn start(&mut self, _ctx: &mut ProcCtx<'_>) {}
@@ -634,6 +648,9 @@ mod tests {
             }
             fn as_any(&self) -> &dyn Any {
                 self
+            }
+            fn clone_box(&self) -> Box<dyn Program> {
+                Box::new(self.clone())
             }
         }
         let mut cfg = MachineConfig::isca96(2, NiKind::Cni512Q);

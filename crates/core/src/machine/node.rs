@@ -48,7 +48,7 @@ impl SeenSeqs {
 }
 
 /// One message awaiting acknowledgement (and, on timeout, retransmission).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PendingTx {
     /// A copy of the in-flight fragment, kept for retransmission.
     pub frag: FragPayload,
@@ -62,7 +62,7 @@ pub struct PendingTx {
 /// enabled ([`FaultConfig::enabled`]). With the all-zero default
 /// configuration this is `None` and the machine takes its historical,
 /// protocol-free code path.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReliableState {
     /// Per-destination next send sequence number.
     pub tx_next: Vec<u64>,
@@ -119,6 +119,11 @@ pub struct NodeStats {
 }
 
 /// The runtime state of one simulated node.
+///
+/// `Clone` captures the complete node — memory system, NI device, queues,
+/// reliable-delivery protocol — which is what makes speculative epoch
+/// checkpoints possible (see [`crate::machine::ShardCheckpoint`]).
+#[derive(Clone)]
 pub struct NodeCore {
     /// Node identity.
     pub id: NodeId,

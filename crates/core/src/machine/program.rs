@@ -38,6 +38,17 @@ pub trait Program: Send {
 
     /// Downcasting support so harnesses can read results after a run.
     fn as_any(&self) -> &dyn Any;
+
+    /// Clones the program behind the trait object. Speculative execution
+    /// checkpoints a node's full state — program included — so it can rewind
+    /// a mispredicted epoch; every program must therefore be cloneable.
+    fn clone_box(&self) -> Box<dyn Program>;
+}
+
+impl Clone for Box<dyn Program> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A placeholder program that does nothing (used internally while a node's
@@ -57,6 +68,9 @@ impl Program for IdleProgram {
     }
     fn as_any(&self) -> &dyn Any {
         self
+    }
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(*self)
     }
 }
 

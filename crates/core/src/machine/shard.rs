@@ -45,7 +45,7 @@ pub(super) struct WireMeta {
 /// (`ProcStep`, `DeliveryRetry`, `RetxTimer`) are scheduled directly;
 /// network-borne ones (`NetArrival`, `AckArrival`) only ever enter through
 /// the epoch router.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(super) enum Event {
     /// Run one scheduling step of a node's processor.
     ProcStep(NodeId),
@@ -72,7 +72,7 @@ pub(super) enum Event {
 }
 
 /// Network-borne traffic routed between shards at epoch boundaries.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(super) enum NetEvent {
     /// A network message headed for its destination NI (the fragment names
     /// the destination).
@@ -772,8 +772,53 @@ impl MachineShard {
     }
 }
 
+/// A reusable snapshot of everything a `MachineShard` mutates while
+/// advancing: the nodes (memory system, NI device, queues, protocol state),
+/// their programs, the local event queue and the per-shard fabric. The
+/// immutable run configuration — the compiled fault plan, batch sizes,
+/// retry intervals — is deliberately *not* captured: [`FaultPlan`] verdicts
+/// are stamp-pure (`&self`), so a restored shard replays them identically.
+///
+/// The driver reuses one buffer per shard across speculative rounds
+/// (`Option` state starts empty and is filled on the first snapshot), so
+/// steady-state checkpointing re-clones into existing allocations instead
+/// of growing fresh ones.
+#[derive(Default)]
+pub struct ShardCheckpoint {
+    nodes: Vec<NodeCore>,
+    programs: Vec<Box<dyn Program>>,
+    events: Option<EventQueue<Event>>,
+    fabric: Option<Fabric>,
+    emitting_pending: usize,
+}
+
 impl ShardSim for MachineShard {
     type Msg = NetEvent;
+    type Checkpoint = ShardCheckpoint;
+
+    fn snapshot(&self, into: &mut ShardCheckpoint) {
+        into.nodes.clone_from(&self.nodes);
+        into.programs.clone_from(&self.programs);
+        match &mut into.events {
+            Some(events) => events.clone_from(&self.events),
+            None => into.events = Some(self.events.clone()),
+        }
+        match &mut into.fabric {
+            Some(fabric) => fabric.clone_from(&self.fabric),
+            None => into.fabric = Some(self.fabric.clone()),
+        }
+        into.emitting_pending = self.emitting_pending;
+    }
+
+    fn restore(&mut self, from: &ShardCheckpoint) {
+        self.nodes.clone_from(&from.nodes);
+        self.programs.clone_from(&from.programs);
+        self.events
+            .clone_from(from.events.as_ref().expect("restore before snapshot"));
+        self.fabric
+            .clone_from(from.fabric.as_ref().expect("restore before snapshot"));
+        self.emitting_pending = from.emitting_pending;
+    }
 
     fn accept(&mut self, at: Cycle, msg: NetEvent) {
         match msg {

@@ -74,6 +74,7 @@ pub struct LatencyReport {
 }
 
 /// The pinging side of the latency microbenchmark.
+#[derive(Clone)]
 struct PingProgram {
     peer: NodeId,
     bytes: usize,
@@ -112,9 +113,14 @@ impl Program for PingProgram {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
 }
 
 /// The echoing side of the latency microbenchmark.
+#[derive(Clone)]
 struct EchoProgram {
     peer: NodeId,
     bytes: usize,
@@ -141,6 +147,10 @@ impl Program for EchoProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 
@@ -234,6 +244,7 @@ pub struct BandwidthReport {
 }
 
 /// The streaming sender.
+#[derive(Clone)]
 struct StreamSender {
     peer: NodeId,
     bytes: usize,
@@ -269,9 +280,14 @@ impl Program for StreamSender {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
 }
 
 /// The streaming receiver.
+#[derive(Clone)]
 struct StreamReceiver {
     expected: usize,
     received: usize,
@@ -299,6 +315,10 @@ impl Program for StreamReceiver {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

@@ -133,7 +133,7 @@ pub fn fragment_message_with(
 }
 
 /// Reassembles fragments back into user messages at the receiver.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Assembler {
     partial: HashMap<(NodeId, u64), (u32, Arc<AmMessage>)>,
     completed: u64,
@@ -200,14 +200,14 @@ impl Assembler {
 /// steady state insert/take perform **no allocation** — this replaced a
 /// `HashMap<u64, FragPayload>` that hashed and rehashed every fragment twice
 /// per hop on the simulator's hot path.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FragArena {
     slots: Vec<ArenaSlot>,
     free: Vec<u32>,
     len: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum ArenaSlot {
     Vacant {
         generation: u32,
@@ -317,7 +317,7 @@ impl FragArena {
 /// yet managed to hand to the NI (because the NI send queue or the sliding
 /// window was full). This is the "buffer messages in user space" path of the
 /// paper's deadlock-avoidance rule (§4.1).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct OutgoingBuffer {
     queue: VecDeque<FragPayload>,
     high_water: usize,

@@ -214,6 +214,10 @@ impl NiDevice for Cni4Device {
     fn send_has_room(&self) -> bool {
         self.send_exposed.is_none()
     }
+
+    fn clone_box(&self) -> Box<dyn NiDevice> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

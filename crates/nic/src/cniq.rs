@@ -156,6 +156,10 @@ impl NiDevice for CniQDevice {
     fn send_has_room(&self) -> bool {
         self.send_cq.has_room()
     }
+
+    fn clone_box(&self) -> Box<dyn NiDevice> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -151,6 +151,17 @@ pub trait NiDevice: Send {
 
     /// Whether the send path currently has room for another fragment.
     fn send_has_room(&self) -> bool;
+
+    /// Clones the device behind the trait object. Speculative execution
+    /// checkpoints a node's full state — queues and in-flight device work
+    /// included — so it can rewind a mispredicted epoch.
+    fn clone_box(&self) -> Box<dyn NiDevice>;
+}
+
+impl Clone for Box<dyn NiDevice> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 #[cfg(test)]

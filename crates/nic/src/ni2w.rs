@@ -160,6 +160,10 @@ impl NiDevice for Ni2wDevice {
     fn send_has_room(&self) -> bool {
         self.send_fifo.len() < self.fifo_capacity
     }
+
+    fn clone_box(&self) -> Box<dyn NiDevice> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

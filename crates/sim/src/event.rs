@@ -57,6 +57,7 @@ impl std::fmt::Display for QueueBackend {
 
 /// A heap entry: time, monotonically increasing sequence number (to break
 /// ties deterministically) and the user event payload.
+#[derive(Clone)]
 struct HeapEntry<E> {
     at: Cycle,
     seq: u64,
@@ -100,10 +101,12 @@ const SLOTS_PER_LEVEL: usize = 1 << LEVEL_BITS;
 /// (`6 bits × 11 levels = 66 bits`).
 const LEVELS: usize = 11;
 
+#[derive(Clone)]
 struct WheelSlot<E> {
     entries: VecDeque<(Cycle, E)>,
 }
 
+#[derive(Clone)]
 struct WheelLevel<E> {
     /// Bit `s` set iff `slots[s]` is non-empty.
     occupied: u64,
@@ -121,6 +124,7 @@ struct WheelLevel<E> {
 /// * hence every level-0 slot holds exactly one cycle's events, in insertion
 ///   order, and all entries in a lower level precede all entries in any
 ///   higher level.
+#[derive(Clone)]
 struct Wheel<E> {
     levels: Vec<WheelLevel<E>>,
     elapsed: Cycle,
@@ -328,6 +332,7 @@ impl<E> Wheel<E> {
 // Public queue
 // ---------------------------------------------------------------------------
 
+#[derive(Clone)]
 enum Backend<E> {
     Heap(BinaryHeap<HeapEntry<E>>),
     Wheel(Wheel<E>),
@@ -348,6 +353,12 @@ enum Backend<E> {
 /// assert_eq!(q.pop(), Some((1, "b")));
 /// assert_eq!(q.pop(), Some((3, "c")));
 /// ```
+///
+/// Cloning a queue (requires `E: Clone`) captures its exact state — pending
+/// entries, FIFO tie-breaking sequence and clock — which is what the
+/// speculative epoch driver's shard checkpoints are built from: a restored
+/// clone replays the exact same pop sequence as the original.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     backend: Backend<E>,
     kind: QueueBackend,

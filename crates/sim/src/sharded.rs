@@ -79,6 +79,44 @@
 //! execution modes. The router's lookahead `debug_assert` checks the
 //! forecast contract on every absorbed event, so a shard whose forecast
 //! over-promises fails loudly in test builds.
+//!
+//! # Speculative epochs
+//!
+//! The adaptive planner is conservative: it only extends when the shards'
+//! forecasts *prove* the window is quiet, which on dense workloads is never.
+//! [`LookaheadMode::Speculative`] is the optimistic half: every round, all
+//! shards checkpoint themselves ([`ShardSim::snapshot`]) and optimistically
+//! execute [`SPEC_DEPTH`] grid slots past the planned horizon with their
+//! emissions *held aside* instead of routed. The driver then validates the
+//! gamble against the emissions that actually happened: if the earliest
+//! held arrival lands at or past the speculated horizon, nothing inside the
+//! window could have been observed — the round **commits** and the held
+//! traffic is routed normally. Otherwise some arrival `a` lands inside the
+//! window; the round **rolls back**: every shard restores its checkpoint
+//! ([`ShardSim::restore`]) and re-executes conservatively up to `C =
+//! grid(a)`, the last grid point the arrival provably cannot reach.
+//!
+//! The rollback is exact, not approximate. The speculated window received
+//! no deliveries, so the re-execution `[start, C)` is a deterministic
+//! *prefix* of the speculative run — and every one of its emissions arrives
+//! at or past the earliest conflicting arrival `a ≥ C` (were there an
+//! earlier one, *it* would have been the conflict), so routing the re-run's
+//! emissions with floor `C` satisfies the same lookahead `debug_assert` as
+//! a committed round. Speculation is therefore **unobservable**: commit and
+//! rollback both leave exactly the state a conservative run would have, and
+//! results stay bit-identical across all three lookahead modes
+//! (determinism invariant 7 in `ARCHITECTURE.md`).
+//!
+//! Both drivers speculate in lock-step rounds — one uniform speculated
+//! horizon for every shard, all-or-nothing validation — because per-shard
+//! divergent horizons are unsound: a lagging shard's post-rollback re-run
+//! emits *different* traffic than its speculative run did, which could land
+//! inside a leading shard's already-committed window (the classic Time
+//! Warp cascade). A shared exponential pacer (capped at
+//! [`SPEC_PENALTY_CAP`] conservative rounds) keeps dense workloads from
+//! paying checkpoint + rollback every round; it is part of the deterministic
+//! schedule, so commit/rollback counts are invariant across shard counts
+//! and execution modes just like every other epoch statistic.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -214,6 +252,28 @@ pub trait ShardSim: Send {
     fn all_pending_emit(&self) -> bool {
         false
     }
+
+    /// Reusable checkpoint buffer for [`LookaheadMode::Speculative`]. The
+    /// driver allocates one per shard via `Default` and hands the same
+    /// buffer back to every [`ShardSim::snapshot`], so implementations can
+    /// `clone_from` into it and reach steady-state speculation without
+    /// fresh allocations. Shards that do not support speculation use `()`.
+    type Checkpoint: Send + Default;
+
+    /// Captures the shard's complete mutable state into `into`, such that a
+    /// later [`ShardSim::restore`] rewinds the shard to this exact point:
+    /// after restore, the same `advance` calls must replay the same event
+    /// sequence and the same emissions. Only required for
+    /// [`LookaheadMode::Speculative`]; the default panics.
+    fn snapshot(&self, _into: &mut Self::Checkpoint) {
+        unimplemented!("this ShardSim does not support speculative checkpoints")
+    }
+
+    /// Rewinds the shard to the state captured by [`ShardSim::snapshot`].
+    /// Only required for [`LookaheadMode::Speculative`]; the default panics.
+    fn restore(&mut self, _from: &Self::Checkpoint) {
+        unimplemented!("this ShardSim does not support speculative checkpoints")
+    }
 }
 
 /// The forecast [`extend_horizon`] sees for one shard, reusing the epoch
@@ -256,6 +316,14 @@ pub enum LookaheadMode {
     /// bit-identical simulated results to [`LookaheadMode::Fixed`].
     #[default]
     Adaptive,
+    /// Optimistic execution with rollback: shards checkpoint themselves
+    /// ([`ShardSim::snapshot`]), run [`SPEC_DEPTH`] grid slots past the
+    /// planned horizon with emissions held aside, and either commit (no
+    /// held arrival lands inside the window) or restore and re-execute
+    /// conservatively (see the module docs). Requires shards to implement
+    /// [`ShardSim::snapshot`]/[`ShardSim::restore`]; produces bit-identical
+    /// simulated results to [`LookaheadMode::Fixed`].
+    Speculative,
 }
 
 impl std::fmt::Display for LookaheadMode {
@@ -263,7 +331,49 @@ impl std::fmt::Display for LookaheadMode {
         f.write_str(match self {
             LookaheadMode::Fixed => "fixed",
             LookaheadMode::Adaptive => "adaptive",
+            LookaheadMode::Speculative => "speculative",
         })
+    }
+}
+
+/// Grid slots a speculative round runs past the planned horizon.
+pub const SPEC_DEPTH: Cycle = 4;
+
+/// Ceiling on the speculation pacer's exponential penalty: after a rollback
+/// the driver runs `penalty` conservative rounds (doubling per consecutive
+/// rollback up to this cap, resetting on commit) before gambling again.
+pub const SPEC_PENALTY_CAP: Cycle = 64;
+
+/// The deterministic speculation throttle. One per drive — global, not
+/// per-shard — so the speculation schedule is a pure function of the
+/// simulation and identical across shard counts and execution modes.
+#[derive(Debug, Default)]
+struct SpecPacer {
+    /// Conservative rounds still owed after the last rollback.
+    cooldown: Cycle,
+    /// Penalty the *next* rollback doubles from.
+    penalty: Cycle,
+}
+
+impl SpecPacer {
+    /// Consulted once per round in which a speculative horizon is available;
+    /// `true` means sit this round out (and pays one round of the debt).
+    fn throttled(&mut self) -> bool {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn committed(&mut self) {
+        self.penalty = 0;
+    }
+
+    fn rolled_back(&mut self) {
+        self.penalty = (self.penalty * 2).clamp(1, SPEC_PENALTY_CAP);
+        self.cooldown = self.penalty;
     }
 }
 
@@ -302,6 +412,18 @@ pub struct EpochOutcome {
     pub epoch_cycles: u64,
     /// Length of the longest executed epoch in cycles.
     pub max_epoch_len: Cycle,
+    /// Speculative rounds that validated clean and committed (always 0
+    /// outside [`LookaheadMode::Speculative`]). A committed round also
+    /// counts as an extension — its horizon ran past the planned grid slot.
+    pub spec_commits: u64,
+    /// Speculative rounds that conflicted, restored their checkpoints and
+    /// re-executed conservatively (always 0 outside
+    /// [`LookaheadMode::Speculative`]).
+    pub spec_rollbacks: u64,
+    /// Simulated cycles re-executed after rollbacks (saturating) — the
+    /// wasted-work measure: `spec_reexec_cycles / epoch_cycles` is the
+    /// fraction of the schedule that ran twice.
+    pub spec_reexec_cycles: u64,
 }
 
 impl EpochOutcome {
@@ -315,6 +437,9 @@ impl EpochOutcome {
             extensions: 0,
             epoch_cycles: 0,
             max_epoch_len: 0,
+            spec_commits: 0,
+            spec_rollbacks: 0,
+            spec_reexec_cycles: 0,
         }
     }
 
@@ -490,6 +615,19 @@ fn extend_horizon(
     planned.max(candidate.min(clip).min(limit))
 }
 
+/// The horizon a speculative round gambles on: [`SPEC_DEPTH`] grid slots
+/// past `planned`, clipped — like the adaptive extension — by the grid slot
+/// of the earliest *staged* arrival at or past `planned` (those deliveries
+/// must happen at their own epoch starts; speculation never skips a
+/// delivery point) and by `limit` (abort exactness, see [`epoch_limit`]).
+/// Returns `planned` itself when there is no room to speculate.
+fn spec_horizon(planned: Cycle, held_arrival: Option<Cycle>, epoch: Cycle, limit: Cycle) -> Cycle {
+    let grid = |at: Cycle| (at / epoch) * epoch;
+    let depth = planned.saturating_add(epoch.saturating_mul(SPEC_DEPTH));
+    let clip = held_arrival.map_or(Cycle::MAX, grid);
+    planned.max(depth.min(clip).min(limit))
+}
+
 /// Drives `shards` in lock-step epochs of `epoch` cycles until every queue
 /// and every in-flight cross-shard event has drained, or until the first
 /// epoch starting beyond `max_cycles`.
@@ -537,12 +675,18 @@ fn run_sequential<S: ShardSim>(
     lookahead: LookaheadMode,
 ) -> EpochOutcome {
     let limit = epoch_limit(max_cycles, epoch);
+    let grid = |at: Cycle| (at / epoch) * epoch;
     let mut router = Router::new(shards.len());
     let mut outbox = Outbox::new();
     let mut inbound: Vec<(Cycle, Stamp, S::Msg)> = Vec::new();
     // Per-shard earliest event times, peeked once per epoch and shared by
     // the plan and the adaptive forecast (see `forecast_of`).
     let mut times: Vec<Option<Cycle>> = Vec::with_capacity(shards.len());
+    // Speculation state, allocated lazily on the first speculative round:
+    // one reusable checkpoint buffer and one held-aside outbox per shard.
+    let mut pacer = SpecPacer::default();
+    let mut checkpoints: Vec<S::Checkpoint> = Vec::new();
+    let mut spec_outboxes: Vec<Outbox<S::Msg>> = Vec::new();
     let mut outcome = EpochOutcome::empty();
     loop {
         times.clear();
@@ -555,8 +699,78 @@ fn run_sequential<S: ShardSim>(
             outcome.aborted = true;
             break;
         }
+
+        // The optimistic path: checkpoint, run past the horizon with
+        // emissions held aside, validate, then commit or rewind. Either
+        // way the round ends in exactly the state a conservative run
+        // would be in (see the module docs for the argument).
+        if lookahead == LookaheadMode::Speculative {
+            let held = router.arrival_split(planned).1;
+            let gamble = spec_horizon(planned, held, epoch, limit);
+            if gamble > planned && !pacer.throttled() {
+                if checkpoints.is_empty() {
+                    checkpoints = shards.iter().map(|_| S::Checkpoint::default()).collect();
+                    spec_outboxes = shards.iter().map(|_| Outbox::new()).collect();
+                }
+                let routed_before = router.routed;
+                for (i, shard) in shards.iter_mut().enumerate() {
+                    // Deliver the due arrivals *before* the snapshot, so a
+                    // restore rewinds to a state that already owns them.
+                    router.take_due_into(i, planned, &mut inbound);
+                    for (at, _, msg) in inbound.drain(..) {
+                        shard.accept(at, msg);
+                    }
+                    shard.snapshot(&mut checkpoints[i]);
+                    shard.advance(gamble, &mut spec_outboxes[i]);
+                }
+                let conflict = spec_outboxes
+                    .iter()
+                    .flat_map(|o| o.staged.iter().map(|ev| ev.at))
+                    .min()
+                    .filter(|&a| a < gamble);
+                match conflict {
+                    None => {
+                        // Clean: nothing landed inside the window. Route the
+                        // held emissions with the speculated horizon as the
+                        // lookahead floor — the validation just proved it.
+                        outcome.spec_commits += 1;
+                        outcome.note_epoch(start, planned, gamble);
+                        for spec in &mut spec_outboxes {
+                            router.absorb(&mut spec.staged, shard_of, gamble);
+                        }
+                        pacer.committed();
+                    }
+                    Some(a_min) => {
+                        // An arrival at `a_min` lands inside the window:
+                        // rewind and re-execute up to the last grid point it
+                        // cannot reach. The re-run is a prefix of the
+                        // speculative run, so its emissions all arrive at or
+                        // past `a_min >= commit` — floor `commit` holds.
+                        let commit = planned.max(grid(a_min));
+                        outcome.spec_rollbacks += 1;
+                        outcome.spec_reexec_cycles =
+                            outcome.spec_reexec_cycles.saturating_add(commit - start);
+                        outcome.note_epoch(start, planned, commit);
+                        for (i, shard) in shards.iter_mut().enumerate() {
+                            spec_outboxes[i].staged.clear();
+                            shard.restore(&checkpoints[i]);
+                            shard.advance(commit, &mut outbox);
+                            router.absorb(&mut outbox.staged, shard_of, commit);
+                        }
+                        pacer.rolled_back();
+                    }
+                }
+                if router.routed > routed_before {
+                    outcome.exchanges += 1;
+                }
+                continue;
+            }
+        }
+
         let horizon = match lookahead {
-            LookaheadMode::Fixed => planned,
+            // Speculative rounds that sat out (pacer cooldown, or no room
+            // past the planned slot) fall back to the fixed grid.
+            LookaheadMode::Fixed | LookaheadMode::Speculative => planned,
             LookaheadMode::Adaptive => {
                 let (due, held) = router.arrival_split(planned);
                 extend_horizon(
@@ -602,6 +816,12 @@ const NO_EVENT: u64 = u64::MAX;
 const PLAN_RUN: u64 = 0;
 const PLAN_DONE: u64 = 1;
 const PLAN_ABORT: u64 = 2;
+/// Speculative round: snapshot, then run to the published (optimistic)
+/// horizon with emissions held for validation.
+const PLAN_SPEC: u64 = 3;
+/// Rollback round: restore the checkpoint and re-execute conservatively to
+/// the published (validated) horizon.
+const PLAN_REEXEC: u64 = 4;
 
 /// Spins before a waiting worker parks. Zero when the host has a single
 /// core: there, every spin steals the quantum from the worker being waited
@@ -635,6 +855,10 @@ struct Slot<M> {
     /// The worker's thread handle, registered before its first wait so any
     /// finisher can unpark it.
     thread: Mutex<Option<Thread>>,
+    /// Earliest arrival among the shard's emissions from the speculative
+    /// round just executed (`NO_EVENT` when it emitted nothing). The
+    /// finisher validates the round against the minimum over all slots.
+    spec_min: AtomicU64,
 }
 
 /// State shared by the worker pool: the barrier, the published plan, the
@@ -674,6 +898,17 @@ struct Shared<M> {
     epoch_cycles: AtomicU64,
     max_epoch_len: AtomicU64,
     aborted: AtomicBool,
+    // Speculation bookkeeping. `spec_start`/`spec_planned` carry the
+    // in-flight round's plan from its publishing finisher to the resolving
+    // one (stats are recorded at resolution, when the true horizon is
+    // known). All are written only under barrier serialization; the pacer
+    // mutex is never contended for the same reason.
+    spec_start: AtomicU64,
+    spec_planned: AtomicU64,
+    spec_commits: AtomicU64,
+    spec_rollbacks: AtomicU64,
+    spec_reexec_cycles: AtomicU64,
+    pacer: Mutex<SpecPacer>,
     epoch: Cycle,
     max_cycles: Cycle,
     /// Extension ceiling (see [`epoch_limit`]).
@@ -734,6 +969,24 @@ impl<M> Drop for PoisonOnPanic<'_, M> {
     }
 }
 
+/// Records one executed epoch's shape into the shared outcome counters —
+/// the atomic mirror of [`EpochOutcome::note_epoch`]. Only ever called by a
+/// barrier finisher, so plain load/store suffices.
+fn note_epoch_shared<M>(shared: &Shared<M>, start: Cycle, planned: Cycle, horizon: Cycle) {
+    shared.epochs.fetch_add(1, Ordering::Relaxed);
+    shared.last_horizon.store(horizon, Ordering::Relaxed);
+    if horizon > planned {
+        shared.extensions.fetch_add(1, Ordering::Relaxed);
+    }
+    let len = horizon - start;
+    let sum = shared.epoch_cycles.load(Ordering::Relaxed);
+    shared
+        .epoch_cycles
+        .store(sum.saturating_add(len), Ordering::Relaxed);
+    let max = shared.max_epoch_len.load(Ordering::Relaxed);
+    shared.max_epoch_len.store(max.max(len), Ordering::Relaxed);
+}
+
 /// The barrier finisher: absorbs emitted traffic (only if any), plans the
 /// next epoch, distributes its due arrivals and publishes it.
 ///
@@ -777,8 +1030,34 @@ fn finish_epoch<M: Send>(
             shared.publish(PLAN_ABORT, 0);
         }
         Some((start, planned)) => {
+            if shared.lookahead == LookaheadMode::Speculative {
+                let held = router.as_ref().and_then(|r| r.arrival_split(planned).1);
+                let gamble = spec_horizon(planned, held, shared.epoch, shared.limit);
+                // The pacer is consulted only when there is room to gamble —
+                // the short-circuit keeps its cooldown schedule identical to
+                // the sequential driver's.
+                if gamble > planned && !shared.pacer.lock().unwrap().throttled() {
+                    if let Some(router) = router.as_mut() {
+                        for (i, slot) in shared.slots.iter().enumerate() {
+                            router.take_due_into(i, planned, &mut slot.inbound.lock().unwrap());
+                        }
+                        shared
+                            .staged_pending
+                            .store(router.has_staged(), Ordering::Relaxed);
+                    }
+                    drop(router);
+                    // Epoch stats are recorded at *resolution* (finish_spec),
+                    // once the true horizon is known.
+                    shared.spec_start.store(start, Ordering::Relaxed);
+                    shared.spec_planned.store(planned, Ordering::Relaxed);
+                    shared.publish(PLAN_SPEC, gamble);
+                    return;
+                }
+            }
             let horizon = match shared.lookahead {
-                LookaheadMode::Fixed => planned,
+                // Speculative rounds that sat out (pacer cooldown, or no
+                // room past the planned slot) fall back to the fixed grid.
+                LookaheadMode::Fixed | LookaheadMode::Speculative => planned,
                 LookaheadMode::Adaptive => {
                     let forecasts = shared.slots.iter().map(|slot| {
                         let at = slot.earliest_emission.load(Ordering::Relaxed);
@@ -790,18 +1069,7 @@ fn finish_epoch<M: Send>(
                     extend_horizon(forecasts, due, held, planned, shared.epoch, shared.limit)
                 }
             };
-            shared.epochs.fetch_add(1, Ordering::Relaxed);
-            shared.last_horizon.store(horizon, Ordering::Relaxed);
-            if horizon > planned {
-                shared.extensions.fetch_add(1, Ordering::Relaxed);
-            }
-            let len = horizon - start;
-            let sum = shared.epoch_cycles.load(Ordering::Relaxed);
-            shared
-                .epoch_cycles
-                .store(sum.saturating_add(len), Ordering::Relaxed);
-            let max = shared.max_epoch_len.load(Ordering::Relaxed);
-            shared.max_epoch_len.store(max.max(len), Ordering::Relaxed);
+            note_epoch_shared(shared, start, planned, horizon);
             if let Some(router) = router.as_mut() {
                 for (i, slot) in shared.slots.iter().enumerate() {
                     // The planned grid horizon, matching the sequential
@@ -819,8 +1087,61 @@ fn finish_epoch<M: Send>(
     }
 }
 
+/// Resolves a speculative round once every worker has arrived: validate the
+/// held emissions against the gambled horizon, then either commit the round
+/// (and chain straight into [`finish_epoch`]) or publish a rollback plan.
+fn finish_spec<M: Send>(
+    shared: &Shared<M>,
+    shard_of: &(dyn Fn(u32) -> usize + Sync),
+    gamble: Cycle,
+) {
+    let start = shared.spec_start.load(Ordering::Relaxed);
+    let planned = shared.spec_planned.load(Ordering::Relaxed);
+    let a_min = shared
+        .slots
+        .iter()
+        .map(|slot| slot.spec_min.load(Ordering::Relaxed))
+        .min()
+        .unwrap_or(NO_EVENT);
+    if a_min >= gamble {
+        // Clean: no emission lands inside the speculated window (`NO_EVENT`
+        // means nothing was emitted at all). The held outbounds are real —
+        // finish_epoch absorbs them with the gambled horizon as the floor.
+        shared.spec_commits.fetch_add(1, Ordering::Relaxed);
+        note_epoch_shared(shared, start, planned, gamble);
+        shared.pacer.lock().unwrap().committed();
+        finish_epoch(shared, shard_of, gamble);
+    } else {
+        // Conflict: an arrival at `a_min` lands inside the window. Commit
+        // the longest grid prefix it cannot reach and re-execute to there.
+        let commit = planned.max((a_min / shared.epoch) * shared.epoch);
+        shared.spec_rollbacks.fetch_add(1, Ordering::Relaxed);
+        let sum = shared.spec_reexec_cycles.load(Ordering::Relaxed);
+        shared
+            .spec_reexec_cycles
+            .store(sum.saturating_add(commit - start), Ordering::Relaxed);
+        note_epoch_shared(shared, start, planned, commit);
+        shared.pacer.lock().unwrap().rolled_back();
+        // Discard the speculative emissions — the re-execution re-emits the
+        // surviving prefix itself — and reset the traffic flag so only
+        // re-executed emissions count.
+        shared.any_traffic.store(false, Ordering::Relaxed);
+        for slot in &shared.slots {
+            slot.outbound.lock().unwrap().clear();
+        }
+        shared.arrived.store(0, Ordering::Relaxed);
+        shared.publish(PLAN_REEXEC, commit);
+    }
+}
+
 /// One worker's run loop: wait for a plan, deliver the inbound, advance the
 /// shard, hand over emissions, arrive at the barrier (finishing it if last).
+///
+/// Speculative rounds split the normal body in two: `PLAN_SPEC` delivers
+/// the inbound, snapshots into the worker-local checkpoint and runs
+/// optimistically (emission minimum reported via `Slot::spec_min`);
+/// `PLAN_REEXEC` restores the checkpoint and re-runs conservatively. The
+/// checkpoint lives on the worker's stack — it is never shared.
 fn run_worker<S: ShardSim>(
     shard: &mut S,
     index: usize,
@@ -830,22 +1151,38 @@ fn run_worker<S: ShardSim>(
     *shared.slots[index].thread.lock().unwrap() = Some(std::thread::current());
     let _poison = PoisonOnPanic(shared);
     let mut outbox = Outbox::new();
+    let mut checkpoint = S::Checkpoint::default();
     let mut generation = 0u64;
     loop {
         generation = shared.wait_past(generation);
-        if shared.poisoned.load(Ordering::Relaxed)
-            || shared.plan_state.load(Ordering::Relaxed) != PLAN_RUN
-        {
+        if shared.poisoned.load(Ordering::Relaxed) {
+            break;
+        }
+        let state = shared.plan_state.load(Ordering::Relaxed);
+        if !matches!(state, PLAN_RUN | PLAN_SPEC | PLAN_REEXEC) {
             break;
         }
         let horizon = shared.plan_horizon.load(Ordering::Relaxed);
-        {
+        if state != PLAN_REEXEC {
+            // A rollback re-executes from the checkpoint: its due arrivals
+            // were already delivered before the snapshot was taken.
             let mut inbound = shared.slots[index].inbound.lock().unwrap();
             for (at, _, msg) in inbound.drain(..) {
                 shard.accept(at, msg);
             }
+        } else {
+            shard.restore(&checkpoint);
+        }
+        if state == PLAN_SPEC {
+            shard.snapshot(&mut checkpoint);
         }
         shard.advance(horizon, &mut outbox);
+        if state == PLAN_SPEC {
+            let a_min = outbox.staged.iter().map(|ev| ev.at).min();
+            shared.slots[index]
+                .spec_min
+                .store(a_min.unwrap_or(NO_EVENT), Ordering::Relaxed);
+        }
         if !outbox.is_empty() {
             shared.any_traffic.store(true, Ordering::Relaxed);
             let mut outbound = shared.slots[index].outbound.lock().unwrap();
@@ -869,7 +1206,11 @@ fn run_worker<S: ShardSim>(
         // the release sequence) observes all of it.
         let arrived = shared.arrived.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == shared.slots.len() {
-            finish_epoch(shared, shard_of, horizon);
+            if state == PLAN_SPEC {
+                finish_spec(shared, shard_of, horizon);
+            } else {
+                finish_epoch(shared, shard_of, horizon);
+            }
         }
     }
 }
@@ -893,6 +1234,8 @@ fn run_parallel<S: ShardSim>(
         outcome.aborted = true;
         return outcome;
     }
+    let mut initial_state = PLAN_RUN;
+    let mut pacer = SpecPacer::default();
     let horizon = match lookahead {
         LookaheadMode::Fixed => planned,
         LookaheadMode::Adaptive => extend_horizon(
@@ -903,8 +1246,22 @@ fn run_parallel<S: ShardSim>(
             epoch,
             limit,
         ),
+        LookaheadMode::Speculative => {
+            // Round one has nothing staged (`held = None`); the same pacer
+            // consultation order as the sequential driver keeps the two
+            // speculation schedules identical.
+            let gamble = spec_horizon(planned, None, epoch, limit);
+            if gamble > planned && !pacer.throttled() {
+                initial_state = PLAN_SPEC;
+                gamble
+            } else {
+                planned
+            }
+        }
     };
-    outcome.note_epoch(start, planned, horizon);
+    if initial_state == PLAN_RUN {
+        outcome.note_epoch(start, planned, horizon);
+    }
     let shared = Shared {
         slots: shards
             .iter()
@@ -914,6 +1271,7 @@ fn run_parallel<S: ShardSim>(
                 inbound: Mutex::new(Vec::new()),
                 outbound: Mutex::new(Vec::new()),
                 thread: Mutex::new(None),
+                spec_min: AtomicU64::new(NO_EVENT),
             })
             .collect(),
         router: Mutex::new(Router::new(shards.len())),
@@ -921,7 +1279,7 @@ fn run_parallel<S: ShardSim>(
         generation: AtomicU64::new(0),
         any_traffic: AtomicBool::new(false),
         staged_pending: AtomicBool::new(false),
-        plan_state: AtomicU64::new(PLAN_RUN),
+        plan_state: AtomicU64::new(initial_state),
         plan_horizon: AtomicU64::new(horizon),
         poisoned: AtomicBool::new(false),
         epochs: AtomicU64::new(outcome.epochs),
@@ -931,6 +1289,12 @@ fn run_parallel<S: ShardSim>(
         epoch_cycles: AtomicU64::new(outcome.epoch_cycles),
         max_epoch_len: AtomicU64::new(outcome.max_epoch_len),
         aborted: AtomicBool::new(false),
+        spec_start: AtomicU64::new(start),
+        spec_planned: AtomicU64::new(planned),
+        spec_commits: AtomicU64::new(0),
+        spec_rollbacks: AtomicU64::new(0),
+        spec_reexec_cycles: AtomicU64::new(0),
+        pacer: Mutex::new(pacer),
         epoch,
         max_cycles,
         limit,
@@ -953,6 +1317,9 @@ fn run_parallel<S: ShardSim>(
     outcome.extensions = shared.extensions.load(Ordering::Relaxed);
     outcome.epoch_cycles = shared.epoch_cycles.load(Ordering::Relaxed);
     outcome.max_epoch_len = shared.max_epoch_len.load(Ordering::Relaxed);
+    outcome.spec_commits = shared.spec_commits.load(Ordering::Relaxed);
+    outcome.spec_rollbacks = shared.spec_rollbacks.load(Ordering::Relaxed);
+    outcome.spec_reexec_cycles = shared.spec_reexec_cycles.load(Ordering::Relaxed);
     outcome.routed_events = shared.router.lock().unwrap().routed;
     outcome
 }
@@ -973,10 +1340,21 @@ mod tests {
     /// stamps, epochs and the quiescent fast path. Like the machine model's
     /// fragments, the message carries its destination so `accept` can
     /// address the exact entity.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     enum Ev {
         Hop { dst: u32, token: u64 },
         Local { dst: u32, left: u64 },
+    }
+
+    /// Everything a [`RingShard`] mutates while advancing; the immutable
+    /// configuration (`base`, `total`, `local_work`) is not captured.
+    #[derive(Default)]
+    struct RingCheckpoint {
+        hops_left: Vec<u64>,
+        sum: Vec<u64>,
+        seq: Vec<u64>,
+        forecast: Vec<Option<Cycle>>,
+        events: Option<EventQueue<(u32, Ev)>>,
     }
 
     struct RingShard {
@@ -1050,6 +1428,27 @@ mod tests {
 
     impl ShardSim for RingShard {
         type Msg = Ev;
+        type Checkpoint = RingCheckpoint;
+
+        fn snapshot(&self, into: &mut Self::Checkpoint) {
+            into.hops_left.clone_from(&self.hops_left);
+            into.sum.clone_from(&self.sum);
+            into.seq.clone_from(&self.seq);
+            into.forecast.clone_from(&self.forecast);
+            into.events = Some(self.events.clone());
+        }
+
+        fn restore(&mut self, from: &Self::Checkpoint) {
+            self.hops_left.clone_from(&from.hops_left);
+            self.sum.clone_from(&from.sum);
+            self.seq.clone_from(&from.seq);
+            self.forecast.clone_from(&from.forecast);
+            self.events = from
+                .events
+                .as_ref()
+                .expect("restore before snapshot")
+                .clone();
+        }
 
         fn accept(&mut self, at: Cycle, msg: Self::Msg) {
             let dst = match &msg {
@@ -1164,7 +1563,11 @@ mod tests {
     #[test]
     fn sharded_ring_is_invariant_across_shard_counts_and_modes() {
         let (reference, _) = run_ring(12, 1, 40, ExecMode::Sequential);
-        for lookahead in [LookaheadMode::Fixed, LookaheadMode::Adaptive] {
+        for lookahead in [
+            LookaheadMode::Fixed,
+            LookaheadMode::Adaptive,
+            LookaheadMode::Speculative,
+        ] {
             for shard_count in [1, 2, 3, 4] {
                 let (seq, _) =
                     run_ring_with(12, shard_count, 40, 0, ExecMode::Sequential, lookahead);
@@ -1258,8 +1661,134 @@ mod tests {
     }
 
     #[test]
+    fn speculative_commits_on_quiet_rings_and_rolls_back_on_dense_ones() {
+        // The grinding ring is speculation's best case: long emission-free
+        // stretches mean most gambles validate cleanly and each commit
+        // swallows up to SPEC_DEPTH grid slots.
+        let (reference, fixed) =
+            run_ring_with(6, 1, 4, 30, ExecMode::Sequential, LookaheadMode::Fixed);
+        let (sums, spec) = run_ring_with(
+            6,
+            1,
+            4,
+            30,
+            ExecMode::Sequential,
+            LookaheadMode::Speculative,
+        );
+        assert_eq!(sums, reference, "speculation changed simulated results");
+        assert_eq!(spec.routed_events, fixed.routed_events);
+        assert!(spec.spec_commits > 0, "quiet ring should commit gambles");
+        assert!(
+            spec.epochs * 2 < fixed.epochs,
+            "commits should collapse the grind: {} vs {} fixed epochs",
+            spec.epochs,
+            fixed.epochs
+        );
+        // The dense ring is the adversarial case: every slot carries a hop,
+        // so gambles keep colliding with arrivals and roll back. Results
+        // still must not move — that is the whole point.
+        let (dense_ref, _) = run_ring(12, 1, 40, ExecMode::Sequential);
+        let (dense_sums, dense) = run_ring_with(
+            12,
+            1,
+            40,
+            0,
+            ExecMode::Sequential,
+            LookaheadMode::Speculative,
+        );
+        assert_eq!(dense_sums, dense_ref, "rollback changed simulated results");
+        assert!(dense.spec_rollbacks > 0, "dense ring should roll back");
+    }
+
+    #[test]
+    fn speculative_outcome_is_invariant_across_shards_and_modes() {
+        // Every speculation decision (gamble horizon, validation minimum,
+        // pacer cooldown) is a function of global state only, so the whole
+        // commit/rollback schedule — not just the results — must be
+        // identical for any sharding and either driver.
+        for (total, hops, local_work) in [(6, 4, 30), (12, 40, 0)] {
+            let (reference, outcome) = run_ring_with(
+                total,
+                1,
+                hops,
+                local_work,
+                ExecMode::Sequential,
+                LookaheadMode::Speculative,
+            );
+            for shard_count in [2, 3] {
+                for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+                    let (sums, other) = run_ring_with(
+                        total,
+                        shard_count,
+                        hops,
+                        local_work,
+                        mode,
+                        LookaheadMode::Speculative,
+                    );
+                    assert_eq!(sums, reference, "{shard_count} shards {mode:?} diverged");
+                    assert_eq!(
+                        other, outcome,
+                        "speculation schedule changed with {shard_count} shards {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grinding_ring_epoch_schedule_is_pinned() {
+        // Exact epoch-shape pins for one known schedule (6 counters, 4 hops,
+        // 30-link grind chains). A planner change that moves any of these
+        // numbers is observable in RESULTS.md — it must fail here first, not
+        // surface as a silent benchmark drift.
+        let (_, fixed) = run_ring_with(6, 2, 4, 30, ExecMode::Sequential, LookaheadMode::Fixed);
+        let (_, adaptive) =
+            run_ring_with(6, 2, 4, 30, ExecMode::Sequential, LookaheadMode::Adaptive);
+        let (_, spec) = run_ring_with(
+            6,
+            2,
+            4,
+            30,
+            ExecMode::Sequential,
+            LookaheadMode::Speculative,
+        );
+        for (name, outcome) in [("fixed", &fixed), ("adaptive", &adaptive), ("spec", &spec)] {
+            assert_eq!(
+                outcome.routed_events, 24,
+                "{name}: 6 counters hop 4 times each"
+            );
+            assert!(!outcome.aborted, "{name}");
+        }
+        assert_eq!(fixed.epochs, 155);
+        assert_eq!(fixed.extensions, 0);
+        assert_eq!(fixed.epoch_cycles, 1550);
+        assert_eq!(fixed.max_epoch_len, LATENCY);
+        assert_eq!(adaptive.epochs, 10);
+        assert_eq!(adaptive.extensions, 5);
+        assert_eq!(adaptive.epoch_cycles, 1550);
+        assert_eq!(adaptive.max_epoch_len, 30 * LATENCY);
+        assert!(adaptive.mean_epoch_len() > fixed.mean_epoch_len());
+        // Speculation executes the same event set on a different epoch grid:
+        // a clean final gamble may run past the last event, so its cycle sum
+        // can exceed the fixed grid's — only the *results* are pinned equal.
+        assert_eq!(spec.epochs, 35);
+        assert_eq!(spec.spec_commits, 31);
+        assert_eq!(spec.spec_rollbacks, 2);
+        assert_eq!(spec.spec_reexec_cycles, 2 * LATENCY);
+        assert_eq!(spec.extensions, 31, "every commit counts as an extension");
+        assert!(
+            spec.spec_commits + spec.spec_rollbacks <= spec.epochs,
+            "every speculative round resolves into exactly one executed epoch"
+        );
+    }
+
+    #[test]
     fn cycle_limit_aborts_with_pending_work() {
-        for lookahead in [LookaheadMode::Fixed, LookaheadMode::Adaptive] {
+        for lookahead in [
+            LookaheadMode::Fixed,
+            LookaheadMode::Adaptive,
+            LookaheadMode::Speculative,
+        ] {
             for mode in [ExecMode::Sequential, ExecMode::Parallel] {
                 let mut shards = vec![
                     RingShard::new(0, 2, 4, u64::MAX, 0),
@@ -1283,7 +1812,11 @@ mod tests {
 
     #[test]
     fn empty_shards_finish_immediately() {
-        for lookahead in [LookaheadMode::Fixed, LookaheadMode::Adaptive] {
+        for lookahead in [
+            LookaheadMode::Fixed,
+            LookaheadMode::Adaptive,
+            LookaheadMode::Speculative,
+        ] {
             for mode in [ExecMode::Sequential, ExecMode::Parallel] {
                 let mut shards = vec![RingShard::new(0, 2, 4, 0, 0), RingShard::new(2, 2, 4, 0, 0)];
                 for shard in &mut shards {
@@ -1305,6 +1838,7 @@ mod tests {
         }
         impl ShardSim for Bomb {
             type Msg = ();
+            type Checkpoint = ();
             fn accept(&mut self, _at: Cycle, _msg: ()) {}
             fn advance(&mut self, _horizon: Cycle, _outbox: &mut Outbox<()>) {
                 if self.armed {

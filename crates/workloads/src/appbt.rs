@@ -111,6 +111,7 @@ pub fn neighbors(nodes: usize, me: usize) -> Vec<usize> {
 }
 
 /// The per-processor appbt program.
+#[derive(Clone)]
 pub struct AppbtProgram {
     me: usize,
     nodes: usize,
@@ -231,6 +232,10 @@ impl Program for AppbtProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

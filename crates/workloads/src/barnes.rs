@@ -143,6 +143,7 @@ impl BarnesWalks {
 }
 
 /// The per-processor barnes program.
+#[derive(Clone)]
 pub struct BarnesProgram {
     me: usize,
     walks: Arc<BarnesWalks>,
@@ -247,6 +248,10 @@ impl Program for BarnesProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

@@ -136,6 +136,7 @@ impl DsmcSchedule {
 }
 
 /// The per-processor dsmc program.
+#[derive(Clone)]
 pub struct DsmcProgram {
     me: usize,
     nodes: usize,
@@ -227,6 +228,10 @@ impl Program for DsmcProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

@@ -129,6 +129,7 @@ impl Em3dGraph {
 }
 
 /// The per-processor em3d program.
+#[derive(Clone)]
 pub struct Em3dProgram {
     me: usize,
     graph: Arc<Em3dGraph>,
@@ -214,6 +215,10 @@ impl Program for Em3dProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

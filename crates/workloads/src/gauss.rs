@@ -50,6 +50,7 @@ impl GaussParams {
 }
 
 /// The per-processor gauss program.
+#[derive(Clone)]
 pub struct GaussProgram {
     me: usize,
     nodes: usize,
@@ -136,6 +137,10 @@ impl Program for GaussProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

@@ -58,6 +58,7 @@ impl MoldynParams {
 }
 
 /// The per-processor moldyn program.
+#[derive(Clone)]
 pub struct MoldynProgram {
     me: usize,
     nodes: usize,
@@ -164,6 +165,10 @@ impl Program for MoldynProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

@@ -145,6 +145,7 @@ impl Dag {
 }
 
 /// The per-processor spsolve program.
+#[derive(Clone)]
 pub struct SpsolveProgram {
     me: usize,
     dag: Arc<Dag>,
@@ -241,6 +242,10 @@ impl Program for SpsolveProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

@@ -279,6 +279,7 @@ impl TrafficPlan {
 }
 
 /// The per-node synthetic traffic program.
+#[derive(Clone)]
 pub struct SyntheticProgram {
     me: usize,
     plan: Arc<TrafficPlan>,
@@ -360,6 +361,10 @@ impl Program for SyntheticProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

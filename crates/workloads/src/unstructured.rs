@@ -167,6 +167,7 @@ impl UnstructuredMesh {
 }
 
 /// The per-processor unstructured program.
+#[derive(Clone)]
 pub struct UnstructuredProgram {
     me: usize,
     mesh: Arc<UnstructuredMesh>,
@@ -250,6 +251,10 @@ impl Program for UnstructuredProgram {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
     }
 }
 

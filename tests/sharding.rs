@@ -24,6 +24,22 @@ fn run(cfg: MachineConfig, workload: Workload, params: &WorkloadParams) -> RunRe
     Machine::new(cfg, programs).run()
 }
 
+/// Like [`run`], but also returns the epoch driver's outcome so tests can
+/// assert speculation (or any other lookahead machinery) actually engaged.
+fn run_with_outcome(
+    cfg: MachineConfig,
+    workload: Workload,
+    params: &WorkloadParams,
+) -> (RunReport, cni::core::machine::EpochOutcome) {
+    let programs = workload.programs(cfg.nodes, params);
+    let mut machine = Machine::new(cfg, programs);
+    let report = machine.run();
+    let outcome = *machine
+        .epoch_outcome()
+        .expect("run() always records an epoch outcome");
+    (report, outcome)
+}
+
 /// Sequential 1-shard, sequential N-shard and parallel N-shard runs are
 /// bit-identical for every NI kind, across two workloads with different
 /// communication patterns (fine-grain spsolve, broadcast-heavy gauss) and
@@ -449,6 +465,154 @@ fn adaptive_lookahead_never_over_promises() {
                      from the fixed-lookahead single-shard reference"
                 );
             }
+        }
+    }
+}
+
+/// Determinism invariant 7 meets invariant 5: speculation under fault
+/// injection. Retransmission timers, duplicate suppression and fault
+/// verdicts are all part of the state a rollback must restore, and the
+/// lossy mix keeps conflicting traffic flowing into the gambled horizon —
+/// so this is the densest rollback workout in the suite. For every NI kind
+/// across two workloads with randomized machine/shard shapes, a speculative
+/// lossy run — sequential and parallel — is bit-identical to the
+/// fixed-lookahead single-shard reference, and every case asserts both that
+/// the faults fired and that speculation actually resolved rounds (commit
+/// or rollback), so the equality is never vacuous.
+#[test]
+fn speculative_lookahead_is_unobservable_under_faults() {
+    use cni::core::machine::LookaheadMode;
+    use cni::net::faults::FaultConfig;
+    let mut rng = DetRng::new(0x09EC_FA17);
+    for kind in NiKind::ALL {
+        for workload in [Workload::Em3d, Workload::Gauss] {
+            let nodes = 4 + rng.gen_index(7); // 4..=10
+            let shards = 2 + rng.gen_index(3); // 2..=4
+            let params = WorkloadParams::tiny();
+            let faults = FaultConfig {
+                seed: rng.next_u64(),
+                drop_ppm: 150_000,
+                corrupt_ppm: 100_000,
+                duplicate_ppm: 100_000,
+                delay_ppm: 100_000,
+                ..FaultConfig::default()
+            };
+            let case = format!(
+                "{kind}/{workload}: {nodes} nodes, {shards} shards, fault seed {:#x}",
+                faults.seed
+            );
+            let cfg = || MachineConfig::isca96(nodes, kind).with_faults(faults.clone());
+
+            let reference = run(cfg(), workload, &params);
+            assert!(
+                reference.completed,
+                "{case}: lossy reference did not complete"
+            );
+            assert!(
+                reference.fabric.faults_dropped > 0,
+                "{case}: rates this high must drop something"
+            );
+
+            for parallel in [false, true] {
+                let (speculative, outcome) = run_with_outcome(
+                    cfg()
+                        .with_shards(ShardPolicy::Fixed(shards))
+                        .with_parallel(parallel)
+                        .with_lookahead(LookaheadMode::Speculative),
+                    workload,
+                    &params,
+                );
+                assert_eq!(
+                    speculative, reference,
+                    "{case}: speculative lossy run (parallel = {parallel}) diverged"
+                );
+                assert!(
+                    outcome.spec_commits + outcome.spec_rollbacks > 0,
+                    "{case}: speculation never resolved a round (parallel = {parallel})"
+                );
+            }
+        }
+    }
+}
+
+/// Rollback under the two adversarial fault shapes: fail-stop outage
+/// windows (a frozen node's retransmission backlog floods the reopening
+/// window) and inert retransmission timers (`retransmit: false` with
+/// duplicate/delay noise arms timers that fire, rearm and do nothing —
+/// checkpointed and restored across every rollback without poisoning the
+/// schedule). Both must stay bit-identical to the conservative reference.
+#[test]
+fn speculative_rollback_survives_outages_and_inert_timers() {
+    use cni::core::machine::LookaheadMode;
+    use cni::net::faults::{FailWindow, FaultConfig};
+    let params = WorkloadParams::tiny();
+
+    let outage = FaultConfig {
+        seed: 0x00D0_0DAD,
+        drop_ppm: 50_000,
+        fail_windows: vec![
+            FailWindow {
+                node: 1,
+                from: 2_000,
+                until: 60_000,
+            },
+            FailWindow {
+                node: 4,
+                from: 10_000,
+                until: 45_000,
+            },
+        ],
+        ..FaultConfig::default()
+    };
+    let inert_timers = FaultConfig {
+        seed: 0x1E47_0000,
+        duplicate_ppm: 120_000,
+        delay_ppm: 120_000,
+        retransmit: false,
+        // An RTO shorter than the ack round trip guarantees the inert
+        // timers actually expire (and rearm, and expire again) mid-run.
+        rto_cycles: 60,
+        ..FaultConfig::default()
+    };
+
+    for (label, faults) in [("outage", outage), ("inert-timers", inert_timers)] {
+        let cfg = || MachineConfig::isca96(6, NiKind::Cni16Q).with_faults(faults.clone());
+
+        let reference = run(cfg(), Workload::Em3d, &params);
+        assert!(reference.completed, "{label}: reference did not complete");
+        if label == "outage" {
+            assert!(
+                reference.fabric.faults_dropped > 0,
+                "{label}: traffic into the windows must be destroyed"
+            );
+        } else {
+            assert!(
+                reference.fabric.dup_discards > 0,
+                "{label}: the duplicate rate must fire"
+            );
+            assert!(
+                reference.fabric.timeouts > 0,
+                "{label}: the inert timers must actually expire"
+            );
+        }
+
+        for parallel in [false, true] {
+            let (speculative, outcome) = run_with_outcome(
+                cfg()
+                    .with_shards(ShardPolicy::Fixed(3))
+                    .with_parallel(parallel)
+                    .with_lookahead(LookaheadMode::Speculative),
+                Workload::Em3d,
+                &params,
+            );
+            assert_eq!(
+                speculative, reference,
+                "{label}: speculative run (parallel = {parallel}) diverged"
+            );
+            assert!(
+                outcome.spec_commits + outcome.spec_rollbacks > 0,
+                "{label}: speculation never resolved a round (parallel = {parallel})"
+            );
         }
     }
 }
