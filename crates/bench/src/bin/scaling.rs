@@ -8,8 +8,8 @@
 //! if they are not); only the wall-clock column varies.
 //!
 //! Run with `cargo run --release -p cni-bench --bin scaling -- [quick|big]
-//! [--workload NAME] [--lookahead fixed|adaptive|speculative] [--json]
-//! [--ci]`.
+//! [--workload NAME] [--lookahead fixed|adaptive|speculative]
+//! [--checkpoint full|incremental] [--json] [--ci]`.
 //!
 //! * `quick` sweeps 16/64 nodes with smaller inputs; `big` adds 1024 nodes.
 //! * `--workload` picks the workload swept (default em3d, the ROADMAP
@@ -22,6 +22,12 @@
 //!   checkpoint/rollback (the commit/rollback/re-executed-cycle counters
 //!   appear in the table and JSON). The digest column must be identical
 //!   in all three modes.
+//! * `--checkpoint` selects how speculative gambles snapshot shard state
+//!   (default incremental, the config default): `full` clones every node
+//!   every gamble, `incremental` copies only dirty-tracked nodes and
+//!   rewinds the event queue through its delta journal. The checkpoint-
+//!   bytes and dirty-fraction columns make the cost difference visible;
+//!   the digest column must not move.
 //! * `--json` emits the sweep in the same trajectory format as `fig8 --json`,
 //!   including the epoch statistics (epochs, extensions, mean/max epoch
 //!   length, speculation commits/rollbacks/re-executed cycles) that make the
@@ -30,7 +36,8 @@
 //!   1-shard, sequential 4-shard, parallel 4-shard, plus whatever
 //!   `ShardPolicy::Auto` resolves to) **for every CI workload** — em3d and
 //!   the four workloads this repo added beyond the paper's figures — under
-//!   all three lookahead modes, cross-checks that every report is bit-identical,
+//!   all three lookahead modes (the speculative leg under both checkpoint
+//!   strategies), cross-checks that every report is bit-identical,
 //!   and prints one reference digest line per workload; CI diffs the block
 //!   against `SCALING_ref.txt`, so sharded bit-identity is pinned across
 //!   communication patterns, not just em3d's.
@@ -43,7 +50,9 @@
 use std::time::Instant;
 
 use cni_bench::report_digest;
-use cni_core::machine::{LookaheadMode, Machine, MachineConfig, RunReport, ShardPolicy};
+use cni_core::machine::{
+    CheckpointStrategy, LookaheadMode, Machine, MachineConfig, RunReport, ShardPolicy,
+};
 use cni_nic::taxonomy::NiKind;
 use cni_workloads::{Workload, WorkloadParams};
 
@@ -108,6 +117,8 @@ struct Row {
     spec_commits: u64,
     spec_rollbacks: u64,
     spec_reexec_cycles: u64,
+    ckpt_bytes: u64,
+    dirty_fraction: f64,
     wall_seconds: f64,
 }
 
@@ -117,6 +128,7 @@ fn run_one(
     shards: usize,
     parallel: bool,
     lookahead: LookaheadMode,
+    checkpoint: CheckpointStrategy,
     quick: bool,
 ) -> (RunReport, Row) {
     run_policy(
@@ -125,6 +137,7 @@ fn run_one(
         ShardPolicy::Fixed(shards),
         parallel,
         lookahead,
+        checkpoint,
         quick,
     )
 }
@@ -135,12 +148,14 @@ fn run_policy(
     policy: ShardPolicy,
     parallel: bool,
     lookahead: LookaheadMode,
+    checkpoint: CheckpointStrategy,
     quick: bool,
 ) -> (RunReport, Row) {
     let cfg = MachineConfig::isca96(nodes, NiKind::Cni512Q)
         .with_shards(policy)
         .with_parallel(parallel)
-        .with_lookahead(lookahead);
+        .with_lookahead(lookahead)
+        .with_checkpoint(checkpoint);
     let shards = cfg.shard_count();
     let mode = match (policy, cfg.exec_parallel()) {
         (ShardPolicy::Auto, true) => "auto+",
@@ -161,6 +176,7 @@ fn run_policy(
         std::process::exit(1);
     }
     let outcome = machine.epoch_outcome();
+    let ckpt = machine.checkpoint_stats();
     let row = Row {
         nodes,
         shards,
@@ -175,6 +191,8 @@ fn run_policy(
         spec_commits: outcome.map_or(0, |o| o.spec_commits),
         spec_rollbacks: outcome.map_or(0, |o| o.spec_rollbacks),
         spec_reexec_cycles: outcome.map_or(0, |o| o.spec_reexec_cycles),
+        ckpt_bytes: ckpt.bytes,
+        dirty_fraction: ckpt.dirty_fraction(),
         wall_seconds,
     };
     (report, row)
@@ -184,6 +202,7 @@ fn sweep(
     workload: Workload,
     node_counts: &[usize],
     lookahead: LookaheadMode,
+    checkpoint: CheckpointStrategy,
     quick: bool,
 ) -> Vec<Row> {
     let mut rows = Vec::new();
@@ -199,7 +218,9 @@ fn sweep(
                 &[false, true]
             };
             for &parallel in modes {
-                let (report, row) = run_one(workload, nodes, shards, parallel, lookahead, quick);
+                let (report, row) = run_one(
+                    workload, nodes, shards, parallel, lookahead, checkpoint, quick,
+                );
                 match &reference {
                     None => reference = Some(report),
                     Some(reference) => {
@@ -218,7 +239,15 @@ fn sweep(
         }
         // What ShardPolicy::Auto picks on this host, digest-checked like
         // every other configuration.
-        let (report, row) = run_policy(workload, nodes, ShardPolicy::Auto, false, lookahead, quick);
+        let (report, row) = run_policy(
+            workload,
+            nodes,
+            ShardPolicy::Auto,
+            false,
+            lookahead,
+            checkpoint,
+            quick,
+        );
         if let Some(reference) = &reference {
             if report != *reference {
                 eprintln!(
@@ -239,7 +268,7 @@ fn rows_json(rows: &[Row]) -> String {
         .iter()
         .map(|r| {
             format!(
-                r#"{{"nodes":{},"shards":{},"mode":"{}","lookahead":"{}","cycles":{},"digest":"{:016x}","epochs":{},"extensions":{},"mean_epoch_len":{:.1},"max_epoch_len":{},"spec_commits":{},"spec_rollbacks":{},"spec_reexec_cycles":{},"wall_seconds":{:.3}}}"#,
+                r#"{{"nodes":{},"shards":{},"mode":"{}","lookahead":"{}","cycles":{},"digest":"{:016x}","epochs":{},"extensions":{},"mean_epoch_len":{:.1},"max_epoch_len":{},"spec_commits":{},"spec_rollbacks":{},"spec_reexec_cycles":{},"ckpt_bytes":{},"dirty_fraction":{:.4},"wall_seconds":{:.3}}}"#,
                 r.nodes,
                 r.shards,
                 r.mode,
@@ -253,6 +282,8 @@ fn rows_json(rows: &[Row]) -> String {
                 r.spec_commits,
                 r.spec_rollbacks,
                 r.spec_reexec_cycles,
+                r.ckpt_bytes,
+                r.dirty_fraction,
                 r.wall_seconds
             )
         })
@@ -265,7 +296,7 @@ fn print_table(workload: Workload, rows: &[Row]) {
         "Scaling sweep: {workload}, CNI512Q, weak-scaled inputs (digest is the simulated-result hash)"
     );
     println!(
-        "{:>7} {:>7} {:>5} {:>11} {:>14} {:>18} {:>8} {:>7} {:>7} {:>5} {:>10}",
+        "{:>7} {:>7} {:>5} {:>11} {:>14} {:>18} {:>8} {:>7} {:>7} {:>5} {:>11} {:>6} {:>10}",
         "nodes",
         "shards",
         "mode",
@@ -276,11 +307,13 @@ fn print_table(workload: Workload, rows: &[Row]) {
         "ext",
         "commit",
         "rb",
+        "ckpt-bytes",
+        "dirty",
         "wall (s)"
     );
     for r in rows {
         println!(
-            "{:>7} {:>7} {:>5} {:>11} {:>14} {:>18x} {:>8} {:>7} {:>7} {:>5} {:>10.3}",
+            "{:>7} {:>7} {:>5} {:>11} {:>14} {:>18x} {:>8} {:>7} {:>7} {:>5} {:>11} {:>6.3} {:>10.3}",
             r.nodes,
             r.shards,
             r.mode,
@@ -291,6 +324,8 @@ fn print_table(workload: Workload, rows: &[Row]) {
             r.extensions,
             r.spec_commits,
             r.spec_rollbacks,
+            r.ckpt_bytes,
+            r.dirty_fraction,
             r.wall_seconds
         );
     }
@@ -308,33 +343,61 @@ fn print_table(workload: Workload, rows: &[Row]) {
 fn run_ci() {
     let quick = true;
     for workload in CI_WORKLOADS {
-        let (reference, base) = run_one(workload, 64, 1, false, LookaheadMode::Fixed, quick);
+        let (reference, base) = run_one(
+            workload,
+            64,
+            1,
+            false,
+            LookaheadMode::Fixed,
+            CheckpointStrategy::default(),
+            quick,
+        );
         for lookahead in [
             LookaheadMode::Fixed,
             LookaheadMode::Adaptive,
             LookaheadMode::Speculative,
         ] {
-            for (shards, parallel) in [(1usize, false), (4, false), (4, true)] {
-                let (report, row) = run_one(workload, 64, shards, parallel, lookahead, quick);
+            // The speculative leg runs under *both* checkpoint strategies:
+            // the incremental-vs-full digest diff that pins PR 9's dirty
+            // tracking, on top of the three-way lookahead diff. The
+            // conservative modes never checkpoint, so one strategy suffices.
+            let strategies: &[CheckpointStrategy] = if lookahead == LookaheadMode::Speculative {
+                &[CheckpointStrategy::Incremental, CheckpointStrategy::Full]
+            } else {
+                &[CheckpointStrategy::default()]
+            };
+            for &checkpoint in strategies {
+                for (shards, parallel) in [(1usize, false), (4, false), (4, true)] {
+                    let (report, row) =
+                        run_one(workload, 64, shards, parallel, lookahead, checkpoint, quick);
+                    if report != reference {
+                        eprintln!(
+                            "scaling --ci: {workload} 64-node run with {shards} shards ({}, {} \
+                             lookahead, {checkpoint:?} checkpoints) diverged from the \
+                             fixed-lookahead 1-shard reference — determinism bug",
+                            row.mode, lookahead
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                let (report, row) = run_policy(
+                    workload,
+                    64,
+                    ShardPolicy::Auto,
+                    false,
+                    lookahead,
+                    checkpoint,
+                    quick,
+                );
                 if report != reference {
                     eprintln!(
-                        "scaling --ci: {workload} 64-node run with {shards} shards ({}, {} \
-                         lookahead) diverged from the fixed-lookahead 1-shard reference — \
-                         determinism bug",
-                        row.mode, lookahead
+                        "scaling --ci: {workload} 64-node auto run ({} shards, {}, {} lookahead, \
+                         {checkpoint:?} checkpoints) diverged from the fixed-lookahead 1-shard \
+                         reference — determinism bug",
+                        row.shards, row.mode, lookahead
                     );
                     std::process::exit(1);
                 }
-            }
-            let (report, row) =
-                run_policy(workload, 64, ShardPolicy::Auto, false, lookahead, quick);
-            if report != reference {
-                eprintln!(
-                    "scaling --ci: {workload} 64-node auto run ({} shards, {}, {} lookahead) \
-                     diverged from the fixed-lookahead 1-shard reference — determinism bug",
-                    row.shards, row.mode, lookahead
-                );
-                std::process::exit(1);
             }
         }
         // One line per workload; CI pins the whole block in SCALING_ref.txt.
@@ -343,7 +406,8 @@ fn run_ci() {
 }
 
 const USAGE: &str = "scaling [quick|big] [--workload NAME] \
-                     [--lookahead fixed|adaptive|speculative] [--json] [--ci]";
+                     [--lookahead fixed|adaptive|speculative] \
+                     [--checkpoint full|incremental] [--json] [--ci]";
 
 fn usage_error(message: &str) -> ! {
     cni_bench::cli::usage_error(USAGE, message);
@@ -355,6 +419,7 @@ fn main() {
     let mut mode: Option<String> = None;
     let mut workload: Option<Workload> = None;
     let mut lookahead: Option<LookaheadMode> = None;
+    let mut checkpoint: Option<CheckpointStrategy> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -376,17 +441,31 @@ fn main() {
                 )),
                 None => usage_error("--lookahead takes fixed, adaptive or speculative"),
             },
+            "--checkpoint" => match args.next().as_deref() {
+                Some("full") => checkpoint = Some(CheckpointStrategy::Full),
+                Some("incremental") => checkpoint = Some(CheckpointStrategy::Incremental),
+                Some(other) => usage_error(&format!(
+                    "--checkpoint takes full or incremental, got {other:?}"
+                )),
+                None => usage_error("--checkpoint takes full or incremental"),
+            },
             "quick" | "big" | "scaled" if mode.is_none() => mode = Some(arg),
             other => usage_error(&format!("unrecognized argument {other:?}")),
         }
     }
     if ci {
-        if workload.is_some() || json || mode.is_some() || lookahead.is_some() {
+        if workload.is_some()
+            || json
+            || mode.is_some()
+            || lookahead.is_some()
+            || checkpoint.is_some()
+        {
             usage_error(
                 "--ci runs its fixed smoke configuration (quick inputs, 64 nodes, \
-                 em3d/barnes/dsmc/unstructured/hotspot, all lookahead modes) and prints \
-                 the digest block CI pins; it cannot be combined with a mode, --workload, \
-                 --lookahead or --json",
+                 em3d/barnes/dsmc/unstructured/hotspot, all lookahead modes, both \
+                 checkpoint strategies on the speculative leg) and prints the digest \
+                 block CI pins; it cannot be combined with a mode, --workload, \
+                 --lookahead, --checkpoint or --json",
             );
         }
         run_ci();
@@ -394,6 +473,7 @@ fn main() {
     }
     let workload = workload.unwrap_or(Workload::Em3d);
     let lookahead = lookahead.unwrap_or_default();
+    let checkpoint = checkpoint.unwrap_or_default();
     let mode = mode.as_deref().unwrap_or("scaled");
     let (node_counts, quick): (&[usize], bool) = match mode {
         "quick" => (&[16, 64], true),
@@ -403,7 +483,7 @@ fn main() {
     };
 
     let started = Instant::now();
-    let rows = sweep(workload, node_counts, lookahead, quick);
+    let rows = sweep(workload, node_counts, lookahead, checkpoint, quick);
     let wall_seconds = started.elapsed().as_secs_f64();
 
     if json {

@@ -686,8 +686,10 @@ fn render_lookahead(run: &CampaignRun) -> String {
          horizons the traffic forecast extended past the fixed \
          `network_latency` grid, the resulting epoch lengths in cycles, and \
          the speculative planner's gamble record — rounds committed, rounds \
-         rolled back, and the simulated cycles re-executed paying for the \
-         rollbacks. Extensions collapse quiet grid slots into one barrier \
+         rolled back, the simulated cycles re-executed paying for the \
+         rollbacks, and what the dirty-tracked incremental checkpoints paid \
+         for the gambles (bytes captured, and the fraction of node state \
+         actually copied). Extensions collapse quiet grid slots into one barrier \
          pass; the simulated results are bit-identical in every mode \
          (determinism invariants 6 and 7 — the campaign asserts the digests \
          match), so only the schedule shape varies. {} nodes, `{}` inputs, \
@@ -708,6 +710,8 @@ fn render_lookahead(run: &CampaignRun) -> String {
         "rollbacks",
         "rb rate",
         "re-exec cycles",
+        "ckpt bytes",
+        "dirty frac",
     ]
     .map(str::to_owned)
     .to_vec();
@@ -751,6 +755,8 @@ fn render_lookahead(run: &CampaignRun) -> String {
                 format!("{rollbacks:.0}"),
                 format!("{:.1}%", 100.0 * rollbacks / resolved.max(1.0)),
                 format!("{:.0}", spec.num("spec_reexec_cycles")),
+                format!("{:.0}", spec.num("ckpt_bytes")),
+                format!("{:.3}", spec.num("dirty_fraction")),
             ]);
         }
     }

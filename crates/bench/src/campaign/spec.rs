@@ -27,12 +27,12 @@ use cni_nic::taxonomy::{NiKind, QueueHome, QueuePointers};
 use cni_sim::event::QueueBackend;
 use cni_workloads::{ParamsTier, Workload};
 
-use crate::{report_digest, run_workload_outcome, run_workload_report};
+use crate::{report_digest, run_workload_checkpointed, run_workload_outcome, run_workload_report};
 
 /// Version tag of the spec encoding and the result encodings. Bump when a
 /// cell's canonical or result JSON changes shape, so stale cache entries
 /// can never be misread.
-const SPEC_SCHEMA: &str = "cni-campaign-v2";
+const SPEC_SCHEMA: &str = "cni-campaign-v3";
 
 /// Simulator-performance knobs applied when executing a cell. None of these
 /// affect simulated results (the determinism tests prove it), so none of
@@ -416,14 +416,16 @@ impl ExperimentSpec {
             } => {
                 let cfg = tune(MachineConfig::for_bus(nodes, ni, DeviceLocation::MemoryBus))
                     .with_lookahead(LookaheadMode::Speculative);
-                let (report, outcome) = run_workload_outcome(workload, &cfg, &tier.params());
+                let (report, outcome, ckpt) =
+                    run_workload_checkpointed(workload, &cfg, &tier.params());
                 // The digest must match the conservative Macro cell for the
                 // same (workload, ni, nodes, tier) — invariant 7. The
                 // schedule statistics are what differ: gambles committed and
                 // rolled back, plus the cycles re-executed paying for the
-                // rollbacks.
+                // rollbacks — and what the incremental checkpoints paid for
+                // the gambles in bytes and dirty fraction.
                 format!(
-                    r#"{{"cycles":{},"epochs":{},"epoch_extensions":{},"mean_epoch_len":{:.1},"max_epoch_len":{},"spec_commits":{},"spec_rollbacks":{},"spec_reexec_cycles":{},"report_digest":"{:016x}"}}"#,
+                    r#"{{"cycles":{},"epochs":{},"epoch_extensions":{},"mean_epoch_len":{:.1},"max_epoch_len":{},"spec_commits":{},"spec_rollbacks":{},"spec_reexec_cycles":{},"ckpt_bytes":{},"dirty_fraction":{:.4},"report_digest":"{:016x}"}}"#,
                     report.cycles,
                     outcome.epochs,
                     outcome.extensions,
@@ -432,6 +434,8 @@ impl ExperimentSpec {
                     outcome.spec_commits,
                     outcome.spec_rollbacks,
                     outcome.spec_reexec_cycles,
+                    ckpt.bytes,
+                    ckpt.dirty_fraction(),
                     report_digest(&report)
                 )
             }

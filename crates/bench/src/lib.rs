@@ -75,7 +75,7 @@ pub mod campaign;
 pub mod cli;
 pub mod json;
 
-use cni_core::machine::{EpochOutcome, Machine, MachineConfig, RunReport};
+use cni_core::machine::{CheckpointStats, EpochOutcome, Machine, MachineConfig, RunReport};
 use cni_mem::system::DeviceLocation;
 use cni_nic::taxonomy::NiKind;
 use cni_sim::time::Cycle;
@@ -179,6 +179,40 @@ pub fn run_workload_outcome(
         .copied()
         .expect("a completed run always has an epoch outcome");
     (report, outcome)
+}
+
+/// Like [`run_workload_outcome`], but additionally returns the machine's
+/// merged [`CheckpointStats`] — what speculative gambles actually paid in
+/// copied nodes and bytes. All zeros for the conservative lookahead modes,
+/// which never checkpoint.
+pub fn run_workload_checkpointed(
+    workload: Workload,
+    cfg: &MachineConfig,
+    params: &WorkloadParams,
+) -> (RunReport, EpochOutcome, CheckpointStats) {
+    let programs = workload.programs(cfg.nodes, params);
+    let mut machine = Machine::new(cfg.clone(), programs);
+    let report = machine.run();
+    assert!(
+        !report.aborted,
+        "{workload} on {} ({}) hit the cycle limit (max_cycles = {}) — \
+         results would be silently truncated; {}",
+        cfg.ni_kind,
+        location_name(cfg.device_location),
+        cfg.max_cycles,
+        report.pending_summary()
+    );
+    assert!(
+        report.completed,
+        "{workload} did not complete on {} ({})",
+        cfg.ni_kind,
+        location_name(cfg.device_location)
+    );
+    let outcome = machine
+        .epoch_outcome()
+        .copied()
+        .expect("a completed run always has an epoch outcome");
+    (report, outcome, machine.checkpoint_stats())
 }
 
 /// A deterministic 64-bit digest of everything a [`RunReport`] observes:

@@ -8,8 +8,37 @@ use cni_net::faults::FaultConfig;
 use cni_nic::cq_model::CqOptimizations;
 use cni_nic::taxonomy::NiKind;
 use cni_sim::event::QueueBackend;
-use cni_sim::sharded::LookaheadMode;
+use cni_sim::sharded::{LookaheadMode, SpecTuning};
 use cni_sim::time::Cycle;
+
+/// How a shard captures the state a speculative round may need to rewind
+/// ([`cni_sim::sharded::LookaheadMode::Speculative`]).
+///
+/// Purely a simulator-performance knob: every strategy restores to the exact
+/// same state, so simulated results are bit-identical across strategies —
+/// `tests/speculation.rs` cross-asserts it. The two `Skip*` variants are
+/// deliberately *broken* restores used by the mutation-style oracle tests to
+/// prove that harness actually detects incremental-restore bugs; never use
+/// them outside a test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CheckpointStrategy {
+    /// Clone the whole shard (nodes, programs, event queue, fabric) on
+    /// every snapshot — PR 8's behaviour, kept as the A/B baseline and
+    /// differential reference.
+    Full,
+    /// Dirty-tracked incremental snapshots (the default): copy only nodes
+    /// touched since the last snapshot, and rewind the event queue through
+    /// an in-place delta journal instead of cloning it. Gamble cost becomes
+    /// proportional to activity, not machine size.
+    #[default]
+    Incremental,
+    /// Test-only mutation of [`CheckpointStrategy::Incremental`] whose
+    /// restore skips one dirtied node.
+    SkipNodeRestore,
+    /// Test-only mutation of [`CheckpointStrategy::Incremental`] whose
+    /// restore drops one event-queue delta entry.
+    SkipQueueDelta,
+}
 
 /// How a machine's nodes are partitioned into shards for the epoch-driven
 /// execution model (see [`crate::machine`]'s module docs).
@@ -157,6 +186,14 @@ pub struct MachineConfig {
     /// A simulator-performance knob like [`MachineConfig::shards`]:
     /// simulated results are bit-identical under either mode.
     pub lookahead: LookaheadMode,
+    /// How shards capture speculative checkpoints (full clone vs
+    /// dirty-tracked incremental). Simulator-performance knob: simulated
+    /// results are bit-identical across strategies.
+    pub checkpoint: CheckpointStrategy,
+    /// Speculation pacer tuning. All observables are globally merged, so
+    /// any tuning keeps the gamble schedule identical across shard counts
+    /// and execution modes.
+    pub pacer: SpecTuning,
 }
 
 impl MachineConfig {
@@ -184,6 +221,8 @@ impl MachineConfig {
             parallel: false,
             faults: FaultConfig::default(),
             lookahead: LookaheadMode::default(),
+            checkpoint: CheckpointStrategy::default(),
+            pacer: SpecTuning::default(),
         }
     }
 
@@ -284,6 +323,22 @@ impl MachineConfig {
     /// knob; simulated results are bit-identical under either mode).
     pub fn with_lookahead(mut self, lookahead: LookaheadMode) -> Self {
         self.lookahead = lookahead;
+        self
+    }
+
+    /// Returns a copy using the given checkpoint strategy
+    /// (simulator-performance knob; simulated results are bit-identical
+    /// across strategies).
+    pub fn with_checkpoint(mut self, strategy: CheckpointStrategy) -> Self {
+        self.checkpoint = strategy;
+        self
+    }
+
+    /// Returns a copy using the given speculation pacer tuning
+    /// (simulator-performance knob; the gamble schedule stays identical
+    /// across shard counts and execution modes for any tuning).
+    pub fn with_pacer(mut self, pacer: SpecTuning) -> Self {
+        self.pacer = pacer;
         self
     }
 

@@ -83,11 +83,11 @@ use cni_net::fabric::{Fabric, FabricStats};
 use cni_sim::sharded::{run_epochs, ExecMode};
 use cni_sim::time::Cycle;
 
-pub use cni_sim::sharded::{EpochOutcome, LookaheadMode};
-pub use config::{MachineConfig, ShardPolicy};
+pub use cni_sim::sharded::{EpochOutcome, LookaheadMode, SpecTuning};
+pub use config::{CheckpointStrategy, MachineConfig, ShardPolicy};
 pub use node::{NodeCore, NodeStats, ReliableState};
 pub use program::{IdleProgram, ProcCtx, Program};
-pub use shard::ShardCheckpoint;
+pub use shard::{CheckpointStats, ShardCheckpoint};
 
 use shard::MachineShard;
 
@@ -282,6 +282,19 @@ impl Machine {
         FabricStats::merged(self.shards.iter().map(|s| s.fabric_stats()))
     }
 
+    /// Speculative-checkpoint cost accounting, merged across shards:
+    /// nodes copied vs node-rounds (dirty fraction), approximate bytes
+    /// captured, and journal-capacity highwater marks. All zeros unless a
+    /// run actually speculated. Simulator telemetry — not part of the
+    /// simulated machine's state.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        let mut stats = CheckpointStats::default();
+        for shard in &self.shards {
+            stats.merge(&shard.checkpoint_stats());
+        }
+        stats
+    }
+
     /// The epoch driver's summary of the last [`Machine::run`]: epochs
     /// executed, exchanges performed, lookahead extensions taken. `None`
     /// before the first run. Simulator telemetry — not part of the simulated
@@ -318,6 +331,7 @@ impl Machine {
             self.cfg.max_cycles,
             mode,
             self.cfg.lookahead,
+            self.cfg.pacer,
         );
         self.outcome = Some(outcome);
         self.report()

@@ -123,6 +123,15 @@ pub struct NodeStats {
 /// `Clone` captures the complete node — memory system, NI device, queues,
 /// reliable-delivery protocol — which is what makes speculative epoch
 /// checkpoints possible (see [`crate::machine::ShardCheckpoint`]).
+///
+/// Mutation contract for the dirty-tracked incremental checkpoints: the
+/// shard mutates a `NodeCore` (and its paired program) only while
+/// dispatching an event that names this node, so the shard's per-node
+/// dirty bit — set once at dispatch — is a *complete* record of
+/// divergence from the checkpoint mirror. Anything that adds a
+/// mutation path outside event dispatch must also mark the node dirty,
+/// or the sabotage oracle in `tests/speculation.rs` will show restores
+/// losing state.
 #[derive(Clone)]
 pub struct NodeCore {
     /// Node identity.
@@ -223,6 +232,20 @@ impl NodeCore {
                 .then(|| ReliableState::new(cfg.nodes, &cfg.faults)),
             stats: NodeStats::default(),
         }
+    }
+
+    /// Approximate in-memory footprint of this node's checkpointable
+    /// state, in bytes: the inline struct plus the dominant heap buffers
+    /// (in-flight fragments, software send buffer, delivered inbox). The
+    /// unit of [`crate::machine::CheckpointStats`] byte accounting — an
+    /// estimate cheap enough to take per snapshot, not an allocator-exact
+    /// census, so strategies are compared in a consistent currency rather
+    /// than measured absolutely.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.tx_tokens.len() + self.rx_tokens.len() + self.outgoing.len())
+                * std::mem::size_of::<FragPayload>()
+            + self.inbox.len() * std::mem::size_of::<AmMessage>()
     }
 
     /// Whether the node has nothing left to do locally (its program may still

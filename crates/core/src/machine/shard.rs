@@ -23,7 +23,7 @@ use cni_sim::time::Cycle;
 
 use crate::msg::FragPayload;
 
-use super::config::MachineConfig;
+use super::config::{CheckpointStrategy, MachineConfig};
 use super::node::{NodeCore, PendingTx};
 use super::program::{IdleProgram, ProcCtx, Program};
 
@@ -71,6 +71,23 @@ pub(super) enum Event {
     RetxTimer(NodeId),
 }
 
+impl Event {
+    /// The one node this event's handler mutates — its named node
+    /// (`AckArrival` lands at the original sender). Handlers never touch
+    /// any other node's state: cross-node effects ride the outbox even
+    /// within a shard, which is exactly what makes one dirty bit per
+    /// dispatch a complete write-set.
+    fn node(&self) -> NodeId {
+        match self {
+            Event::ProcStep(id)
+            | Event::NetArrival(id, ..)
+            | Event::DeliveryRetry(id, ..)
+            | Event::RetxTimer(id) => *id,
+            Event::AckArrival { src, .. } => *src,
+        }
+    }
+}
+
 /// Network-borne traffic routed between shards at epoch boundaries.
 #[derive(Debug, Clone)]
 pub(super) enum NetEvent {
@@ -114,6 +131,17 @@ pub(super) struct MachineShard {
     /// schedules other event kinds or enables an emission, so it is inert
     /// for forecasting purposes. Constant for the whole run.
     retx_emits: bool,
+    /// Per-node dirty bitset (one bit per local slot): bit set means the
+    /// node (and its program) may have diverged from the checkpoint mirror
+    /// since the last [`ShardSim::snapshot`]. Set by the `advance` dispatch
+    /// loop — every dispatched event mutates exactly one node, the one it
+    /// names (cross-node effects ride the outbox, even intra-shard) — and
+    /// cleared whenever mirror and live state re-synchronize.
+    dirty: Vec<u64>,
+    /// How [`ShardSim::snapshot`]/[`ShardSim::restore`] capture state.
+    strategy: CheckpointStrategy,
+    /// Accumulated checkpoint-cost accounting for this shard.
+    ckpt_stats: CheckpointStats,
 }
 
 impl std::fmt::Debug for MachineShard {
@@ -137,6 +165,7 @@ impl MachineShard {
         cfg: &MachineConfig,
     ) -> Self {
         debug_assert_eq!(nodes.len(), programs.len());
+        let dirty = vec![0u64; nodes.len().div_ceil(64)];
         MachineShard {
             base,
             nodes,
@@ -148,6 +177,9 @@ impl MachineShard {
             delivery_retry_interval: cfg.delivery_retry_interval,
             emitting_pending: 0,
             retx_emits: cfg.faults.enabled() && cfg.faults.retransmit,
+            dirty,
+            strategy: cfg.checkpoint,
+            ckpt_stats: CheckpointStats::default(),
         }
     }
 
@@ -210,6 +242,16 @@ impl MachineShard {
         self.nodes.iter().map(|n| n.proc_time).max().unwrap_or(0)
     }
 
+    /// Checkpoint cost accounting, with the live delta journal's current
+    /// capacity folded into the highwater mark.
+    pub(super) fn checkpoint_stats(&self) -> CheckpointStats {
+        let mut stats = self.ckpt_stats;
+        stats.journal_capacity = stats
+            .journal_capacity
+            .max(self.events.delta_capacity() as u64);
+        stats
+    }
+
     /// Schedules the initial `ProcStep` for every node (cycle 0).
     pub(super) fn prime(&mut self) {
         for slot in 0..self.nodes.len() {
@@ -222,6 +264,15 @@ impl MachineShard {
         let slot = id.index() - self.base;
         debug_assert!(slot < self.nodes.len(), "{id} is not on this shard");
         slot
+    }
+
+    /// Records that a node (and its program) may now diverge from the
+    /// checkpoint mirror. Every dispatched event mutates exactly one node —
+    /// the one named in its variant (acks land on the sender) — because all
+    /// cross-node traffic, even intra-shard, rides the outbox/router, so
+    /// one bit per dispatch is a complete write-set.
+    fn mark_dirty(&mut self, slot: usize) {
+        self.dirty[slot >> 6] |= 1u64 << (slot & 63);
     }
 
     // ------------------------------------------------------------------
@@ -772,6 +823,54 @@ impl MachineShard {
     }
 }
 
+/// Accumulated cost accounting for a shard's (or whole machine's)
+/// speculative checkpoints — what the `scaling` benchmark's
+/// checkpoint-bytes and dirty-fraction columns report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Nodes actually copied into checkpoint mirrors across all snapshots.
+    pub copied_nodes: u64,
+    /// Nodes that *would* have been copied by full-clone snapshots
+    /// (`shard size × snapshots`), so `copied_nodes / node_rounds` is the
+    /// dirty fraction — the incremental strategy's cost ratio.
+    pub node_rounds: u64,
+    /// Approximate bytes captured across all snapshots (node copies plus
+    /// fabric, plus the whole event queue under the full strategy).
+    pub bytes: u64,
+    /// Approximate bytes of the single most expensive snapshot — the
+    /// buffer-shrink regression guard.
+    pub peak_bytes: u64,
+    /// Largest event-queue delta-journal capacity observed, in entries;
+    /// stays at or under [`cni_sim::event::DELTA_TRIM_ENTRIES`] across
+    /// commits once the post-commit trim runs.
+    pub journal_capacity: u64,
+}
+
+impl CheckpointStats {
+    /// Folds another shard's accounting into this one (sums, except the
+    /// capacity highwater marks, which take the max).
+    pub fn merge(&mut self, other: &CheckpointStats) {
+        self.snapshots += other.snapshots;
+        self.copied_nodes += other.copied_nodes;
+        self.node_rounds += other.node_rounds;
+        self.bytes += other.bytes;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.journal_capacity = self.journal_capacity.max(other.journal_capacity);
+    }
+
+    /// Fraction of node state the snapshots actually copied (1.0 for the
+    /// full strategy, activity-proportional for the incremental one).
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.node_rounds == 0 {
+            0.0
+        } else {
+            self.copied_nodes as f64 / self.node_rounds as f64
+        }
+    }
+}
+
 /// A reusable snapshot of everything a `MachineShard` mutates while
 /// advancing: the nodes (memory system, NI device, queues, protocol state),
 /// their programs, the local event queue and the per-shard fabric. The
@@ -783,6 +882,12 @@ impl MachineShard {
 /// (`Option` state starts empty and is filled on the first snapshot), so
 /// steady-state checkpointing re-clones into existing allocations instead
 /// of growing fresh ones.
+///
+/// Under [`CheckpointStrategy::Incremental`] the node/program vectors are a
+/// *mirror* maintained across rounds: the first snapshot fills them
+/// completely (`synced`), and every later snapshot re-copies only the slots
+/// the shard dirtied since the previous one. `events` stays `None` — the
+/// queue rewinds through its in-place delta journal instead of a clone.
 #[derive(Default)]
 pub struct ShardCheckpoint {
     nodes: Vec<NodeCore>,
@@ -790,34 +895,125 @@ pub struct ShardCheckpoint {
     events: Option<EventQueue<Event>>,
     fabric: Option<Fabric>,
     emitting_pending: usize,
+    /// Whether the node/program mirror has been filled at least once.
+    synced: bool,
 }
 
 impl ShardSim for MachineShard {
     type Msg = NetEvent;
     type Checkpoint = ShardCheckpoint;
 
-    fn snapshot(&self, into: &mut ShardCheckpoint) {
-        into.nodes.clone_from(&self.nodes);
-        into.programs.clone_from(&self.programs);
-        match &mut into.events {
-            Some(events) => events.clone_from(&self.events),
-            None => into.events = Some(self.events.clone()),
+    fn snapshot(&mut self, into: &mut ShardCheckpoint) {
+        let full = self.strategy == CheckpointStrategy::Full || !into.synced;
+        let mut node_bytes = 0u64;
+        let copied = if full {
+            into.nodes.clone_from(&self.nodes);
+            into.programs.clone_from(&self.programs);
+            into.synced = true;
+            node_bytes = self.nodes.iter().map(|n| n.approx_bytes() as u64).sum();
+            self.nodes.len() as u64
+        } else {
+            // Re-sync only the slots dirtied since the last snapshot: the
+            // mirror still matches the live state everywhere else — after a
+            // commit, the gamble's own writes are exactly the set bits;
+            // after a restore, mirror and live were re-equalized outright.
+            let mut copied = 0u64;
+            for (word, &bits) in self.dirty.iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let slot = (word << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    into.nodes[slot].clone_from(&self.nodes[slot]);
+                    into.programs[slot].clone_from(&self.programs[slot]);
+                    node_bytes += self.nodes[slot].approx_bytes() as u64;
+                    copied += 1;
+                }
+            }
+            copied
+        };
+        self.dirty.fill(0);
+        if self.strategy == CheckpointStrategy::Full {
+            match &mut into.events {
+                Some(events) => events.clone_from(&self.events),
+                None => into.events = Some(self.events.clone()),
+            }
+        } else {
+            // Arm (or re-arm) the in-place delta journal instead of cloning
+            // the queue; a rollback replays the journal, a commit drops it.
+            self.events.mark_delta();
         }
         match &mut into.fabric {
             Some(fabric) => fabric.clone_from(&self.fabric),
             None => into.fabric = Some(self.fabric.clone()),
         }
         into.emitting_pending = self.emitting_pending;
+
+        let bytes = node_bytes
+            + std::mem::size_of::<Fabric>() as u64
+            + if self.strategy == CheckpointStrategy::Full {
+                self.events.len() as u64 * std::mem::size_of::<Event>() as u64
+            } else {
+                0
+            };
+        self.ckpt_stats.snapshots += 1;
+        self.ckpt_stats.copied_nodes += copied;
+        self.ckpt_stats.node_rounds += self.nodes.len() as u64;
+        self.ckpt_stats.bytes += bytes;
+        self.ckpt_stats.peak_bytes = self.ckpt_stats.peak_bytes.max(bytes);
     }
 
     fn restore(&mut self, from: &ShardCheckpoint) {
-        self.nodes.clone_from(&from.nodes);
-        self.programs.clone_from(&from.programs);
-        self.events
-            .clone_from(from.events.as_ref().expect("restore before snapshot"));
+        match self.strategy {
+            CheckpointStrategy::Full => {
+                self.nodes.clone_from(&from.nodes);
+                self.programs.clone_from(&from.programs);
+                self.events
+                    .clone_from(from.events.as_ref().expect("restore before snapshot"));
+            }
+            strategy => {
+                // Copy back exactly the slots the gamble dirtied — nothing
+                // else diverged from the mirror. (`SkipNodeRestore` is the
+                // deliberate oracle mutation: it leaves the first dirtied
+                // node un-rewound so the differential harness must notice.)
+                let mut skip = usize::from(strategy == CheckpointStrategy::SkipNodeRestore);
+                for (word, &bits) in self.dirty.iter().enumerate() {
+                    let mut bits = bits;
+                    while bits != 0 {
+                        let slot = (word << 6) | bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if skip > 0 {
+                            skip -= 1;
+                            continue;
+                        }
+                        self.nodes[slot].clone_from(&from.nodes[slot]);
+                        self.programs[slot].clone_from(&from.programs[slot]);
+                    }
+                }
+                self.ckpt_stats.journal_capacity = self
+                    .ckpt_stats
+                    .journal_capacity
+                    .max(self.events.delta_capacity() as u64);
+                if strategy == CheckpointStrategy::SkipQueueDelta {
+                    self.events.rollback_delta_dropping_one();
+                } else {
+                    self.events.rollback_delta();
+                }
+            }
+        }
+        self.dirty.fill(0);
         self.fabric
             .clone_from(from.fabric.as_ref().expect("restore before snapshot"));
         self.emitting_pending = from.emitting_pending;
+    }
+
+    fn commit_speculation(&mut self) {
+        if self.strategy != CheckpointStrategy::Full {
+            self.ckpt_stats.journal_capacity = self
+                .ckpt_stats
+                .journal_capacity
+                .max(self.events.delta_capacity() as u64);
+            self.events.commit_delta();
+        }
     }
 
     fn accept(&mut self, at: Cycle, msg: NetEvent) {
@@ -847,6 +1043,7 @@ impl ShardSim for MachineShard {
 
     fn advance(&mut self, horizon: Cycle, outbox: &mut Outbox<NetEvent>) {
         while let Some((now, event)) = self.events.pop_before(horizon) {
+            self.mark_dirty(self.slot(event.node()));
             if self.is_emitter(&event) {
                 self.emitting_pending -= 1;
             }
@@ -867,6 +1064,10 @@ impl ShardSim for MachineShard {
 
     fn next_event_time(&self) -> Option<Cycle> {
         self.events.peek_time()
+    }
+
+    fn pending_len(&self) -> u64 {
+        self.events.len() as u64
     }
 
     /// Conservative traffic forecast: while any pending event is an emitter,

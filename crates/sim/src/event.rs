@@ -103,7 +103,11 @@ const LEVELS: usize = 11;
 
 #[derive(Clone)]
 struct WheelSlot<E> {
-    entries: VecDeque<(Cycle, E)>,
+    /// `(time, wrapper sequence number, event)`. The wheel orders by time
+    /// and deque position alone; the sequence number rides along so the
+    /// speculative delta journal can tell pre-mark entries from post-mark
+    /// ones (see [`EventQueue::rollback_delta`]).
+    entries: VecDeque<(Cycle, u64, E)>,
 }
 
 #[derive(Clone)]
@@ -131,7 +135,7 @@ struct Wheel<E> {
     len: usize,
     /// Reused cascade buffer so redistribution never allocates in steady
     /// state.
-    scratch: Vec<(Cycle, E)>,
+    scratch: Vec<(Cycle, u64, E)>,
 }
 
 fn level_for(at: Cycle, elapsed: Cycle) -> usize {
@@ -178,23 +182,23 @@ impl<E> Wheel<E> {
         }
     }
 
-    fn schedule(&mut self, at: Cycle, event: E) {
+    fn schedule(&mut self, at: Cycle, seq: u64, event: E) {
         // Past events (a modelling error, debug-asserted against by the
         // `EventQueue` wrapper) are clamped to the current cycle.
         let at = at.max(self.elapsed);
-        self.insert(at, event);
+        self.insert(at, seq, event);
         self.len += 1;
     }
 
-    fn insert(&mut self, at: Cycle, event: E) {
+    fn insert(&mut self, at: Cycle, seq: u64, event: E) {
         let level = level_for(at, self.elapsed);
         let slot = slot_for(at, level);
         let lvl = &mut self.levels[level];
-        lvl.slots[slot].entries.push_back((at, event));
+        lvl.slots[slot].entries.push_back((at, seq, event));
         lvl.occupied |= 1u64 << slot;
     }
 
-    fn pop(&mut self) -> Option<(Cycle, E)> {
+    fn pop(&mut self) -> Option<(Cycle, u64, E)> {
         self.pop_before(Cycle::MAX)
     }
 
@@ -207,7 +211,7 @@ impl<E> Wheel<E> {
     /// pop leaves the wheel untouched — in particular `elapsed` does not
     /// advance, so a later `schedule` close to the current time is never
     /// clamped differently than it would be on the heap backend.
-    fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, E)> {
+    fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, u64, E)> {
         if self.len == 0 {
             return None;
         }
@@ -222,11 +226,11 @@ impl<E> Wheel<E> {
                 if lvl.slots[slot]
                     .entries
                     .front()
-                    .is_some_and(|(at, _)| *at >= horizon)
+                    .is_some_and(|(at, _, _)| *at >= horizon)
                 {
                     return None;
                 }
-                let (at, event) = lvl.slots[slot]
+                let (at, seq, event) = lvl.slots[slot]
                     .entries
                     .pop_front()
                     .expect("occupancy bit was set");
@@ -236,7 +240,7 @@ impl<E> Wheel<E> {
                 self.len -= 1;
                 debug_assert!(at >= self.elapsed);
                 self.elapsed = at;
-                return Some((at, event));
+                return Some((at, seq, event));
             }
             // Cascade the coarse slot down: advance the wheel to the slot's
             // first cycle and redistribute its entries, which all land at
@@ -259,7 +263,7 @@ impl<E> Wheel<E> {
                 let earliest = self.levels[level].slots[slot]
                     .entries
                     .iter()
-                    .map(|(at, _)| *at)
+                    .map(|(at, _, _)| *at)
                     .min()
                     .expect("occupancy bit was set");
                 if earliest >= horizon {
@@ -272,8 +276,8 @@ impl<E> Wheel<E> {
             scratch.extend(lvl.slots[slot].entries.drain(..));
             lvl.occupied &= !(1u64 << slot);
             self.elapsed = start;
-            for (at, event) in scratch.drain(..) {
-                self.insert(at, event);
+            for (at, seq, event) in scratch.drain(..) {
+                self.insert(at, seq, event);
             }
             self.scratch = scratch;
         }
@@ -307,7 +311,7 @@ impl<E> Wheel<E> {
         self.levels[level].slots[slot]
             .entries
             .iter()
-            .map(|(at, _)| *at)
+            .map(|(at, _, _)| *at)
             .min()
     }
 
@@ -338,6 +342,36 @@ enum Backend<E> {
     Wheel(Wheel<E>),
 }
 
+/// Retained capacity ceiling for the delta journal's pop log: after a
+/// [`EventQueue::commit_delta`] the buffer is trimmed back to at most this
+/// many entries, so one dense speculative phase cannot pin a huge allocation
+/// for the rest of the run.
+pub const DELTA_TRIM_ENTRIES: usize = 1024;
+
+/// Journal of everything popped since the last [`EventQueue::mark_delta`],
+/// plus the clock and sequence counter at the mark. Entries scheduled after
+/// the mark carry sequence numbers `>= mark_seq`, so a rollback can identify
+/// and discard them without the queue ever storing a full snapshot of
+/// itself.
+#[derive(Clone)]
+struct Journal<E> {
+    active: bool,
+    mark_seq: u64,
+    mark_now: Cycle,
+    popped: Vec<(Cycle, u64, E)>,
+}
+
+impl<E> Journal<E> {
+    fn new() -> Self {
+        Journal {
+            active: false,
+            mark_seq: 0,
+            mark_now: 0,
+            popped: Vec::new(),
+        }
+    }
+}
+
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
 ///
 /// # Example
@@ -364,6 +398,7 @@ pub struct EventQueue<E> {
     kind: QueueBackend,
     next_seq: u64,
     now: Cycle,
+    journal: Journal<E>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -390,6 +425,7 @@ impl<E> EventQueue<E> {
             kind,
             next_seq: 0,
             now: 0,
+            journal: Journal::new(),
         }
     }
 
@@ -432,7 +468,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         match &mut self.backend {
             Backend::Heap(heap) => heap.push(HeapEntry { at, seq, event }),
-            Backend::Wheel(wheel) => wheel.schedule(at, event),
+            Backend::Wheel(wheel) => wheel.schedule(at, seq, event),
         }
     }
 
@@ -465,9 +501,13 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest event, advancing the simulation clock to its time.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        debug_assert!(
+            !self.journal.active,
+            "pop() bypasses the delta journal; use pop_before inside a marked window"
+        );
         let (at, event) = match &mut self.backend {
             Backend::Heap(heap) => heap.pop().map(|e| (e.at, e.event))?,
-            Backend::Wheel(wheel) => wheel.pop()?,
+            Backend::Wheel(wheel) => wheel.pop().map(|(at, _, e)| (at, e))?,
         };
         // The clock never moves backwards even if an event was scheduled in
         // the past (see `schedule`).
@@ -482,26 +522,182 @@ impl<E> EventQueue<E> {
     /// or its earliest event is at or past the horizon; the queue remains
     /// fully usable and later events stay pending. `pop_before(Cycle::MAX)`
     /// is equivalent to [`EventQueue::pop`].
-    pub fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, E)> {
-        let (at, event) = match &mut self.backend {
+    pub fn pop_before(&mut self, horizon: Cycle) -> Option<(Cycle, E)>
+    where
+        E: Clone,
+    {
+        let (at, seq, event) = match &mut self.backend {
             Backend::Heap(heap) => {
                 if heap.peek().is_none_or(|e| e.at >= horizon) {
                     return None;
                 }
-                heap.pop().map(|e| (e.at, e.event))?
+                heap.pop().map(|e| (e.at, e.seq, e.event))?
             }
             Backend::Wheel(wheel) => wheel.pop_before(horizon)?,
         };
+        if self.journal.active {
+            self.journal.popped.push((at, seq, event.clone()));
+        }
         self.now = self.now.max(at);
         Some((self.now, event))
     }
 
     /// Removes all pending events without changing the clock.
     pub fn clear(&mut self) {
+        debug_assert!(
+            !self.journal.active,
+            "clear() would lose entries the delta journal needs to restore"
+        );
         match &mut self.backend {
             Backend::Heap(heap) => heap.clear(),
             Backend::Wheel(wheel) => wheel.clear(),
         }
+    }
+
+    // -- Speculative delta journal -----------------------------------------
+    //
+    // The sharded driver's incremental checkpoints need to rewind the queue
+    // to a marked point without ever cloning it. The journal makes that
+    // possible with two observations:
+    //
+    // * every entry scheduled after the mark carries a wrapper sequence
+    //   number `>= mark_seq`, so it can be discarded on rollback;
+    // * every entry popped after the mark is logged (time, seq, clone), so
+    //   it can be re-inserted on rollback.
+    //
+    // Rebuilding in ascending `(at, seq)` order reproduces FIFO-within-cycle
+    // exactly — the wrapper hands out sequence numbers in schedule order, so
+    // sorted reinsertion is the original insertion order.
+
+    /// Starts (or restarts) a delta window at the current queue state.
+    ///
+    /// While the window is active every [`EventQueue::pop_before`] is logged
+    /// so [`EventQueue::rollback_delta`] can rewind the queue to this exact
+    /// state. Re-marking while a window is active simply moves the mark —
+    /// the speculative driver re-marks on every snapshot.
+    pub fn mark_delta(&mut self) {
+        self.journal.active = true;
+        self.journal.mark_seq = self.next_seq;
+        self.journal.mark_now = self.now;
+        self.journal.popped.clear();
+    }
+
+    /// Ends the delta window, keeping the current (post-speculation) state.
+    ///
+    /// Also trims the journal's retained buffer to [`DELTA_TRIM_ENTRIES`] so
+    /// a single dense speculative phase cannot pin a large allocation for
+    /// the rest of the run.
+    pub fn commit_delta(&mut self) {
+        self.journal.active = false;
+        self.journal.popped.clear();
+        if self.journal.popped.capacity() > DELTA_TRIM_ENTRIES {
+            self.journal.popped.shrink_to(DELTA_TRIM_ENTRIES);
+        }
+    }
+
+    /// Rewinds the queue to the state captured by the last
+    /// [`EventQueue::mark_delta`]: entries scheduled since the mark are
+    /// dropped, entries popped since the mark are re-inserted, and the clock
+    /// and sequence counter return to their marked values. The window ends.
+    pub fn rollback_delta(&mut self)
+    where
+        E: Clone,
+    {
+        self.rollback_delta_impl(0);
+    }
+
+    /// Test-only oracle mutation: identical to
+    /// [`EventQueue::rollback_delta`] except the first re-insertable popped
+    /// entry is silently dropped — used to prove the differential harness
+    /// catches a broken queue restore.
+    #[doc(hidden)]
+    pub fn rollback_delta_dropping_one(&mut self)
+    where
+        E: Clone,
+    {
+        self.rollback_delta_impl(1);
+    }
+
+    fn rollback_delta_impl(&mut self, drop_popped: usize)
+    where
+        E: Clone,
+    {
+        assert!(
+            self.journal.active,
+            "rollback_delta without a matching mark_delta"
+        );
+        let mark_seq = self.journal.mark_seq;
+        let mark_now = self.journal.mark_now;
+        // Survivors: pending entries from before the mark, plus logged pops
+        // from before the mark (the sabotage variant drops the first of the
+        // restorable pops, after filtering, so the divergence is real).
+        let mut survivors: Vec<(Cycle, u64, E)> = Vec::new();
+        match &mut self.backend {
+            Backend::Heap(heap) => {
+                survivors.extend(
+                    heap.drain()
+                        .filter(|e| e.seq < mark_seq)
+                        .map(|e| (e.at, e.seq, e.event)),
+                );
+            }
+            Backend::Wheel(wheel) => {
+                for lvl in &mut wheel.levels {
+                    let mut occupied = lvl.occupied;
+                    while occupied != 0 {
+                        let slot = occupied.trailing_zeros() as usize;
+                        survivors.extend(
+                            lvl.slots[slot]
+                                .entries
+                                .drain(..)
+                                .filter(|(_, seq, _)| *seq < mark_seq),
+                        );
+                        occupied &= occupied - 1;
+                    }
+                    lvl.occupied = 0;
+                }
+                wheel.len = 0;
+                // Every survivor fires at or after the marked clock, so the
+                // wheel's level invariant holds when re-anchored there (a
+                // refused pop never moves `elapsed`, so `elapsed == now`
+                // between wrapper calls).
+                wheel.elapsed = mark_now;
+            }
+        }
+        survivors.extend(
+            self.journal
+                .popped
+                .drain(..)
+                .filter(|(_, seq, _)| *seq < mark_seq)
+                .skip(drop_popped),
+        );
+        survivors.sort_unstable_by_key(|&(at, seq, _)| (at, seq));
+        match &mut self.backend {
+            Backend::Heap(heap) => {
+                for (at, seq, event) in survivors {
+                    heap.push(HeapEntry { at, seq, event });
+                }
+            }
+            Backend::Wheel(wheel) => {
+                for (at, seq, event) in survivors {
+                    wheel.insert(at, seq, event);
+                    wheel.len += 1;
+                }
+            }
+        }
+        self.now = mark_now;
+        self.next_seq = mark_seq;
+        self.journal.active = false;
+    }
+
+    /// Number of pops logged in the active delta window.
+    pub fn delta_len(&self) -> usize {
+        self.journal.popped.len()
+    }
+
+    /// Retained capacity of the delta journal's pop log, in entries — the
+    /// quantity [`DELTA_TRIM_ENTRIES`] caps across commits.
+    pub fn delta_capacity(&self) -> usize {
+        self.journal.popped.capacity()
     }
 }
 
@@ -706,6 +902,86 @@ mod tests {
             if h.is_none() {
                 break;
             }
+        }
+    }
+
+    #[test]
+    fn delta_rollback_restores_the_marked_state_under_random_churn() {
+        for backend in BACKENDS {
+            let mut rng = DetRng::new(0xDE17A);
+            let mut q = EventQueue::with_backend(backend);
+            let mut next_id = 0u64;
+            for round in 0..200 {
+                // Build up some pre-mark state.
+                for _ in 0..rng.gen_index(6) {
+                    q.schedule(q.now() + rng.gen_range(2_000), next_id);
+                    next_id += 1;
+                }
+                let reference = q.clone();
+                q.mark_delta();
+                // A speculative burst: interleaved pops and schedules.
+                for _ in 0..rng.gen_index(12) {
+                    if rng.gen_bool(0.5) {
+                        q.schedule(q.now() + rng.gen_range(500), next_id);
+                        next_id += 1;
+                    } else {
+                        let horizon = q.now() + rng.gen_range(3_000);
+                        q.pop_before(horizon);
+                    }
+                }
+                if round % 2 == 0 {
+                    q.rollback_delta();
+                    // The rewound queue must replay exactly like the clone
+                    // taken at the mark.
+                    let mut a = q.clone();
+                    let mut b = reference.clone();
+                    assert_eq!(a.len(), b.len(), "{backend}");
+                    assert_eq!(a.now(), b.now(), "{backend}");
+                    loop {
+                        let (x, y) = (a.pop_before(Cycle::MAX), b.pop_before(Cycle::MAX));
+                        assert_eq!(x, y, "{backend}");
+                        if x.is_none() {
+                            break;
+                        }
+                    }
+                } else {
+                    q.commit_delta();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commit_trims_the_journal_buffer() {
+        let mut q = EventQueue::new();
+        for i in 0..(DELTA_TRIM_ENTRIES as u64 * 4) {
+            q.schedule(i, i);
+        }
+        q.mark_delta();
+        while q.pop_before(Cycle::MAX).is_some() {}
+        assert!(q.delta_len() == DELTA_TRIM_ENTRIES * 4);
+        assert!(q.delta_capacity() >= DELTA_TRIM_ENTRIES * 4);
+        q.commit_delta();
+        assert!(
+            q.delta_capacity() <= DELTA_TRIM_ENTRIES,
+            "retained {} entries of journal capacity after commit",
+            q.delta_capacity()
+        );
+    }
+
+    #[test]
+    fn sabotaged_rollback_observably_diverges() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(5, "a");
+            q.schedule(9, "b");
+            q.mark_delta();
+            assert_eq!(q.pop_before(100), Some((5, "a")));
+            q.rollback_delta_dropping_one();
+            // The dropped entry is the restorable pop: "a" is gone, "b" is
+            // still pending — a clean rollback would have both.
+            assert_eq!(q.len(), 1, "{backend}");
+            assert_eq!(q.pop(), Some((9, "b")), "{backend}");
         }
     }
 

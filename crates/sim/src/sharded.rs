@@ -253,6 +253,23 @@ pub trait ShardSim: Send {
         false
     }
 
+    /// Number of events pending in the shard's local queue. Summed across
+    /// shards this is the machine-wide pending-event population — the
+    /// local half of the load observable the speculation pacer reads (the
+    /// other half being the router's staged count). Both halves are
+    /// partition-invariant (every event lives in exactly one shard's
+    /// queue), which keeps the gamble schedule identical across shard
+    /// counts and drivers (invariant 7). Must be O(1): both drivers read
+    /// it every planning round under [`LookaheadMode::Speculative`].
+    ///
+    /// The default of 0 blinds the pacer to local load — sound in the
+    /// sense that it only makes the pacer gamble more, but implementors
+    /// that run speculatively should override it so dense windows (where
+    /// the pop journal would clone every dispatched event) are refused.
+    fn pending_len(&self) -> u64 {
+        0
+    }
+
     /// Reusable checkpoint buffer for [`LookaheadMode::Speculative`]. The
     /// driver allocates one per shard via `Default` and hands the same
     /// buffer back to every [`ShardSim::snapshot`], so implementations can
@@ -263,9 +280,11 @@ pub trait ShardSim: Send {
     /// Captures the shard's complete mutable state into `into`, such that a
     /// later [`ShardSim::restore`] rewinds the shard to this exact point:
     /// after restore, the same `advance` calls must replay the same event
-    /// sequence and the same emissions. Only required for
+    /// sequence and the same emissions. Takes `&mut self` so incremental
+    /// implementations can reset their dirty tracking and arm in-place
+    /// delta journals as part of the capture. Only required for
     /// [`LookaheadMode::Speculative`]; the default panics.
-    fn snapshot(&self, _into: &mut Self::Checkpoint) {
+    fn snapshot(&mut self, _into: &mut Self::Checkpoint) {
         unimplemented!("this ShardSim does not support speculative checkpoints")
     }
 
@@ -274,6 +293,14 @@ pub trait ShardSim: Send {
     fn restore(&mut self, _from: &Self::Checkpoint) {
         unimplemented!("this ShardSim does not support speculative checkpoints")
     }
+
+    /// Notifies the shard that the last speculative round validated clean
+    /// and its snapshot will never be restored — incremental checkpoints
+    /// release their delta journals here. Called by the driver before the
+    /// next round's deliveries (a rolled-back round gets
+    /// [`ShardSim::restore`] instead). The default is a no-op, which is
+    /// correct for full-clone checkpoints.
+    fn commit_speculation(&mut self) {}
 }
 
 /// The forecast [`extend_horizon`] sees for one shard, reusing the epoch
@@ -336,43 +363,147 @@ impl std::fmt::Display for LookaheadMode {
     }
 }
 
-/// Grid slots a speculative round runs past the planned horizon.
+/// Baseline grid slots a speculative round runs past the planned horizon.
 pub const SPEC_DEPTH: Cycle = 4;
+
+/// Ceiling on how many grid slots a deepened gamble may run past the
+/// planned horizon (see [`SpecTuning::depth_max`]).
+pub const SPEC_DEPTH_MAX: Cycle = 32;
 
 /// Ceiling on the speculation pacer's exponential penalty: after a rollback
 /// the driver runs `penalty` conservative rounds (doubling per consecutive
 /// rollback up to this cap, resetting on commit) before gambling again.
 pub const SPEC_PENALTY_CAP: Cycle = 64;
 
+/// Tuning knobs for the speculation pacer ([`LookaheadMode::Speculative`]).
+///
+/// All observables the pacer consumes are merged *global* quantities
+/// (machine-wide load — router-staged traffic plus pending queue events —
+/// drive-wide commit/rollback counts, mean epoch length), so any tuning
+/// produces a gamble schedule that is identical
+/// across shard counts and execution modes — the knobs trade wasted
+/// speculative work against depth, never determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecTuning {
+    /// Baseline gamble depth in grid slots (default [`SPEC_DEPTH`]).
+    pub depth: Cycle,
+    /// Ceiling the commit-streak deepening may grow the depth to (default
+    /// [`SPEC_DEPTH_MAX`]). Quiet workloads that keep committing double
+    /// their depth every four consecutive commits up to this cap.
+    pub depth_max: Cycle,
+    /// Machine-wide load (router-staged events plus pending queue events,
+    /// see [`ShardSim::pending_len`]) above which a round is considered
+    /// dense and the gamble refused outright: heavy traffic means a held
+    /// arrival will almost surely land inside any window, and every event
+    /// popped inside a gamble is journalled — so on dense rounds the
+    /// snapshot would be pure overhead.
+    pub dense_staged: u64,
+    /// Once at least this many rollbacks have accumulated while commits
+    /// stay under a quarter of them, the pacer gives up on the drive
+    /// entirely — the workload has proven persistently hostile.
+    pub give_up_rollbacks: u64,
+    /// Ceiling on the exponential rollback penalty (default
+    /// [`SPEC_PENALTY_CAP`]).
+    pub penalty_cap: Cycle,
+}
+
+impl Default for SpecTuning {
+    fn default() -> Self {
+        SpecTuning {
+            depth: SPEC_DEPTH,
+            depth_max: SPEC_DEPTH_MAX,
+            dense_staged: 256,
+            give_up_rollbacks: 6,
+            penalty_cap: SPEC_PENALTY_CAP,
+        }
+    }
+}
+
 /// The deterministic speculation throttle. One per drive — global, not
 /// per-shard — so the speculation schedule is a pure function of the
-/// simulation and identical across shard counts and execution modes.
-#[derive(Debug, Default)]
+/// simulation and identical across shard counts and execution modes
+/// (invariant 7): every observable [`SpecPacer::decide`] consumes is
+/// globally merged state both drivers agree on at every planning round.
+#[derive(Debug)]
 struct SpecPacer {
+    tuning: SpecTuning,
     /// Conservative rounds still owed after the last rollback.
     cooldown: Cycle,
     /// Penalty the *next* rollback doubles from.
     penalty: Cycle,
+    /// Consecutive committed gambles — the deepening signal.
+    streak: u64,
+    /// Latched when the drive's commit ratio proves speculation hopeless.
+    gave_up: bool,
 }
 
 impl SpecPacer {
-    /// Consulted once per round in which a speculative horizon is available;
-    /// `true` means sit this round out (and pays one round of the debt).
-    fn throttled(&mut self) -> bool {
+    fn new(tuning: SpecTuning) -> Self {
+        SpecPacer {
+            tuning,
+            cooldown: 0,
+            penalty: 0,
+            streak: 0,
+            gave_up: false,
+        }
+    }
+
+    /// Consulted exactly once per planning round under
+    /// [`LookaheadMode::Speculative`]: `Some(depth)` approves a gamble of
+    /// `depth` grid slots, `None` sits the round out. The observables:
+    ///
+    /// * `load` — events staged at the router plus events pending in the
+    ///   shard queues ([`ShardSim::pending_len`]); above
+    ///   [`SpecTuning::dense_staged`] the gamble is refused, so dense
+    ///   workloads pay no speculation overhead at all. The pending half
+    ///   matters: at workload startup nothing is staged yet, but the
+    ///   queues already hold the full first wave — gambling there
+    ///   journals every popped event for nothing;
+    /// * `commits`/`rollbacks` — the drive's commit ratio; persistently
+    ///   hostile workloads trip [`SpecTuning::give_up_rollbacks`] and latch
+    ///   the pacer off;
+    /// * `epochs`/`epoch_cycles` — the mean executed-epoch length; only
+    ///   workloads whose epochs already run past the grid (mean ≥ 2×
+    ///   `epoch`, i.e. gambles have been paying) earn commit-streak
+    ///   deepening past the baseline depth.
+    fn decide(
+        &mut self,
+        load: u64,
+        commits: u64,
+        rollbacks: u64,
+        epochs: u64,
+        epoch_cycles: u64,
+        epoch: Cycle,
+    ) -> Option<Cycle> {
+        if self.gave_up || (rollbacks >= self.tuning.give_up_rollbacks && commits * 4 <= rollbacks)
+        {
+            self.gave_up = true;
+            return None;
+        }
         if self.cooldown > 0 {
             self.cooldown -= 1;
-            true
-        } else {
-            false
+            return None;
         }
+        if load > self.tuning.dense_staged {
+            return None;
+        }
+        let quiet = epochs > 0 && epoch_cycles >= epoch.saturating_mul(2).saturating_mul(epochs);
+        let depth = if quiet {
+            (self.tuning.depth << (self.streak / 4).min(6)).min(self.tuning.depth_max)
+        } else {
+            self.tuning.depth
+        };
+        Some(depth.max(1))
     }
 
     fn committed(&mut self) {
         self.penalty = 0;
+        self.streak += 1;
     }
 
     fn rolled_back(&mut self) {
-        self.penalty = (self.penalty * 2).clamp(1, SPEC_PENALTY_CAP);
+        self.streak = 0;
+        self.penalty = (self.penalty * 2).clamp(1, self.tuning.penalty_cap);
         self.cooldown = self.penalty;
     }
 }
@@ -424,6 +555,11 @@ pub struct EpochOutcome {
     /// wasted-work measure: `spec_reexec_cycles / epoch_cycles` is the
     /// fraction of the schedule that ran twice.
     pub spec_reexec_cycles: u64,
+    /// Deepest gamble attempted, in grid slots past the planned horizon
+    /// (0 outside [`LookaheadMode::Speculative`] or when no round gambled).
+    /// Exceeds [`SPEC_DEPTH`] only when the pacer's commit-streak deepening
+    /// kicked in on a quiet workload.
+    pub spec_max_depth: Cycle,
 }
 
 impl EpochOutcome {
@@ -440,6 +576,7 @@ impl EpochOutcome {
             spec_commits: 0,
             spec_rollbacks: 0,
             spec_reexec_cycles: 0,
+            spec_max_depth: 0,
         }
     }
 
@@ -474,6 +611,9 @@ impl EpochOutcome {
 /// reallocating.
 struct Router<M> {
     staged: Vec<Vec<(Cycle, Stamp, M)>>,
+    /// Running total across `staged` — kept in sync by `absorb` /
+    /// `take_due_into` so `staged_len` never walks the buckets.
+    staged_count: u64,
     routed: u64,
 }
 
@@ -481,6 +621,7 @@ impl<M> Router<M> {
     fn new(shards: usize) -> Self {
         Router {
             staged: (0..shards).map(|_| Vec::new()).collect(),
+            staged_count: 0,
             routed: 0,
         }
     }
@@ -503,13 +644,24 @@ impl<M> Router<M> {
                 floor
             );
             self.routed += 1;
+            self.staged_count += 1;
             self.staged[shard_of(ev.target)].push((ev.at, ev.stamp, ev.msg));
         }
     }
 
     /// Whether any events are staged for any shard.
     fn has_staged(&self) -> bool {
-        self.staged.iter().any(|v| !v.is_empty())
+        self.staged_count > 0
+    }
+
+    /// Total staged events across all shards — the traffic-density
+    /// observable the speculation pacer consumes. Shard-count-invariant
+    /// because *all* network traffic routes through the outbox (even
+    /// intra-shard), so the staged population depends only on the
+    /// simulation, not the partitioning. Maintained as a counter so the
+    /// per-round pacer consult costs O(1), not a scan of the backlog.
+    fn staged_len(&self) -> u64 {
+        self.staged_count
     }
 
     /// Earliest staged arrival across all shards.
@@ -543,6 +695,7 @@ impl<M> Router<M> {
         while i < pending.len() {
             if pending[i].0 < horizon {
                 out.push(pending.swap_remove(i));
+                self.staged_count -= 1;
             } else {
                 i += 1;
             }
@@ -615,17 +768,24 @@ fn extend_horizon(
     planned.max(candidate.min(clip).min(limit))
 }
 
-/// The horizon a speculative round gambles on: [`SPEC_DEPTH`] grid slots
-/// past `planned`, clipped — like the adaptive extension — by the grid slot
-/// of the earliest *staged* arrival at or past `planned` (those deliveries
-/// must happen at their own epoch starts; speculation never skips a
-/// delivery point) and by `limit` (abort exactness, see [`epoch_limit`]).
-/// Returns `planned` itself when there is no room to speculate.
-fn spec_horizon(planned: Cycle, held_arrival: Option<Cycle>, epoch: Cycle, limit: Cycle) -> Cycle {
+/// The horizon a speculative round gambles on: `depth` grid slots (the
+/// pacer's [`SpecPacer::decide`] answer) past `planned`, clipped — like the
+/// adaptive extension — by the grid slot of the earliest *staged* arrival
+/// at or past `planned` (those deliveries must happen at their own epoch
+/// starts; speculation never skips a delivery point) and by `limit` (abort
+/// exactness, see [`epoch_limit`]). Returns `planned` itself when there is
+/// no room to speculate.
+fn spec_horizon(
+    planned: Cycle,
+    held_arrival: Option<Cycle>,
+    epoch: Cycle,
+    limit: Cycle,
+    depth: Cycle,
+) -> Cycle {
     let grid = |at: Cycle| (at / epoch) * epoch;
-    let depth = planned.saturating_add(epoch.saturating_mul(SPEC_DEPTH));
+    let deep = planned.saturating_add(epoch.saturating_mul(depth));
     let clip = held_arrival.map_or(Cycle::MAX, grid);
-    planned.max(depth.min(clip).min(limit))
+    planned.max(deep.min(clip).min(limit))
 }
 
 /// Drives `shards` in lock-step epochs of `epoch` cycles until every queue
@@ -657,13 +817,16 @@ pub fn run_epochs<S: ShardSim>(
     max_cycles: Cycle,
     mode: ExecMode,
     lookahead: LookaheadMode,
+    tuning: SpecTuning,
 ) -> EpochOutcome {
     assert!(epoch > 0, "epoch length must be non-zero");
     assert!(!shards.is_empty(), "need at least one shard");
 
     match mode {
-        ExecMode::Sequential => run_sequential(shards, shard_of, epoch, max_cycles, lookahead),
-        ExecMode::Parallel => run_parallel(shards, shard_of, epoch, max_cycles, lookahead),
+        ExecMode::Sequential => {
+            run_sequential(shards, shard_of, epoch, max_cycles, lookahead, tuning)
+        }
+        ExecMode::Parallel => run_parallel(shards, shard_of, epoch, max_cycles, lookahead, tuning),
     }
 }
 
@@ -673,6 +836,7 @@ fn run_sequential<S: ShardSim>(
     epoch: Cycle,
     max_cycles: Cycle,
     lookahead: LookaheadMode,
+    tuning: SpecTuning,
 ) -> EpochOutcome {
     let limit = epoch_limit(max_cycles, epoch);
     let grid = |at: Cycle| (at / epoch) * epoch;
@@ -684,7 +848,7 @@ fn run_sequential<S: ShardSim>(
     let mut times: Vec<Option<Cycle>> = Vec::with_capacity(shards.len());
     // Speculation state, allocated lazily on the first speculative round:
     // one reusable checkpoint buffer and one held-aside outbox per shard.
-    let mut pacer = SpecPacer::default();
+    let mut pacer = SpecPacer::new(tuning);
     let mut checkpoints: Vec<S::Checkpoint> = Vec::new();
     let mut spec_outboxes: Vec<Outbox<S::Msg>> = Vec::new();
     let mut outcome = EpochOutcome::empty();
@@ -705,9 +869,26 @@ fn run_sequential<S: ShardSim>(
         // way the round ends in exactly the state a conservative run
         // would be in (see the module docs for the argument).
         if lookahead == LookaheadMode::Speculative {
-            let held = router.arrival_split(planned).1;
-            let gamble = spec_horizon(planned, held, epoch, limit);
-            if gamble > planned && !pacer.throttled() {
+            let load = router.staged_len() + shards.iter().map(|s| s.pending_len()).sum::<u64>();
+            let decision = pacer.decide(
+                load,
+                outcome.spec_commits,
+                outcome.spec_rollbacks,
+                outcome.epochs,
+                outcome.epoch_cycles,
+                epoch,
+            );
+            // The backlog scan for the held-arrival minimum only runs once
+            // the pacer has approved a gamble: refused rounds (the common
+            // case on dense workloads) cost O(1), same as fixed lookahead.
+            let gamble = decision
+                .map(|depth| {
+                    let held = router.arrival_split(planned).1;
+                    spec_horizon(planned, held, epoch, limit, depth)
+                })
+                .unwrap_or(planned);
+            if gamble > planned {
+                outcome.spec_max_depth = outcome.spec_max_depth.max((gamble - planned) / epoch);
                 if checkpoints.is_empty() {
                     checkpoints = shards.iter().map(|_| S::Checkpoint::default()).collect();
                     spec_outboxes = shards.iter().map(|_| Outbox::new()).collect();
@@ -735,7 +916,8 @@ fn run_sequential<S: ShardSim>(
                         // lookahead floor — the validation just proved it.
                         outcome.spec_commits += 1;
                         outcome.note_epoch(start, planned, gamble);
-                        for spec in &mut spec_outboxes {
+                        for (shard, spec) in shards.iter_mut().zip(&mut spec_outboxes) {
+                            shard.commit_speculation();
                             router.absorb(&mut spec.staged, shard_of, gamble);
                         }
                         pacer.committed();
@@ -859,6 +1041,11 @@ struct Slot<M> {
     /// round just executed (`NO_EVENT` when it emitted nothing). The
     /// finisher validates the round against the minimum over all slots.
     spec_min: AtomicU64,
+    /// The shard's pending-event count after its last epoch
+    /// ([`ShardSim::pending_len`]) — the planner sums the slots into the
+    /// pacer's load observable. Only written under
+    /// [`LookaheadMode::Speculative`].
+    pending: AtomicU64,
 }
 
 /// State shared by the worker pool: the barrier, the published plan, the
@@ -908,6 +1095,7 @@ struct Shared<M> {
     spec_commits: AtomicU64,
     spec_rollbacks: AtomicU64,
     spec_reexec_cycles: AtomicU64,
+    spec_max_depth: AtomicU64,
     pacer: Mutex<SpecPacer>,
     epoch: Cycle,
     max_cycles: Cycle,
@@ -1031,12 +1219,39 @@ fn finish_epoch<M: Send>(
         }
         Some((start, planned)) => {
             if shared.lookahead == LookaheadMode::Speculative {
-                let held = router.as_ref().and_then(|r| r.arrival_split(planned).1);
-                let gamble = spec_horizon(planned, held, shared.epoch, shared.limit);
-                // The pacer is consulted only when there is room to gamble —
-                // the short-circuit keeps its cooldown schedule identical to
-                // the sequential driver's.
-                if gamble > planned && !shared.pacer.lock().unwrap().throttled() {
+                // The pacer is consulted exactly once per planning round,
+                // on the same globally-merged observables the sequential
+                // driver reads at the same point — keeping its schedule
+                // identical across drivers and shard counts.
+                let load = router.as_ref().map_or(0, |r| r.staged_len())
+                    + shared
+                        .slots
+                        .iter()
+                        .map(|slot| slot.pending.load(Ordering::Relaxed))
+                        .sum::<u64>();
+                let decision = shared.pacer.lock().unwrap().decide(
+                    load,
+                    shared.spec_commits.load(Ordering::Relaxed),
+                    shared.spec_rollbacks.load(Ordering::Relaxed),
+                    shared.epochs.load(Ordering::Relaxed),
+                    shared.epoch_cycles.load(Ordering::Relaxed),
+                    shared.epoch,
+                );
+                // As in the sequential driver, the held-arrival scan is
+                // deferred until the pacer approves — a refused round does
+                // no backlog work.
+                let gamble = decision
+                    .map(|depth| {
+                        let held = router.as_ref().and_then(|r| r.arrival_split(planned).1);
+                        spec_horizon(planned, held, shared.epoch, shared.limit, depth)
+                    })
+                    .unwrap_or(planned);
+                if gamble > planned {
+                    let depth = (gamble - planned) / shared.epoch;
+                    let max = shared.spec_max_depth.load(Ordering::Relaxed);
+                    shared
+                        .spec_max_depth
+                        .store(max.max(depth), Ordering::Relaxed);
                     if let Some(router) = router.as_mut() {
                         for (i, slot) in shared.slots.iter().enumerate() {
                             router.take_due_into(i, planned, &mut slot.inbound.lock().unwrap());
@@ -1153,6 +1368,11 @@ fn run_worker<S: ShardSim>(
     let mut outbox = Outbox::new();
     let mut checkpoint = S::Checkpoint::default();
     let mut generation = 0u64;
+    // Whether the previous round speculated from this shard's checkpoint —
+    // resolved here, at the start of the next round, once the plan state
+    // reveals the verdict (re-execute = rolled back, anything else =
+    // committed).
+    let mut speculated = false;
     loop {
         generation = shared.wait_past(generation);
         if shared.poisoned.load(Ordering::Relaxed) {
@@ -1164,6 +1384,9 @@ fn run_worker<S: ShardSim>(
         }
         let horizon = shared.plan_horizon.load(Ordering::Relaxed);
         if state != PLAN_REEXEC {
+            if speculated {
+                shard.commit_speculation();
+            }
             // A rollback re-executes from the checkpoint: its due arrivals
             // were already delivered before the snapshot was taken.
             let mut inbound = shared.slots[index].inbound.lock().unwrap();
@@ -1173,6 +1396,7 @@ fn run_worker<S: ShardSim>(
         } else {
             shard.restore(&checkpoint);
         }
+        speculated = state == PLAN_SPEC;
         if state == PLAN_SPEC {
             shard.snapshot(&mut checkpoint);
         }
@@ -1193,6 +1417,13 @@ fn run_worker<S: ShardSim>(
         shared.slots[index]
             .next_event
             .store(next_event.unwrap_or(NO_EVENT), Ordering::Relaxed);
+        // Only the speculative planner reads the load slot (and
+        // `pending_len` is O(1), so this costs one store).
+        if shared.lookahead == LookaheadMode::Speculative {
+            shared.slots[index]
+                .pending
+                .store(shard.pending_len(), Ordering::Relaxed);
+        }
         // Only the adaptive planner reads the forecast slot; fixed mode
         // skips the (possibly second) queue peek entirely.
         if shared.lookahead == LookaheadMode::Adaptive {
@@ -1221,6 +1452,7 @@ fn run_parallel<S: ShardSim>(
     epoch: Cycle,
     max_cycles: Cycle,
     lookahead: LookaheadMode,
+    tuning: SpecTuning,
 ) -> EpochOutcome {
     let limit = epoch_limit(max_cycles, epoch);
     let mut outcome = EpochOutcome::empty();
@@ -1235,7 +1467,7 @@ fn run_parallel<S: ShardSim>(
         return outcome;
     }
     let mut initial_state = PLAN_RUN;
-    let mut pacer = SpecPacer::default();
+    let mut pacer = SpecPacer::new(tuning);
     let horizon = match lookahead {
         LookaheadMode::Fixed => planned,
         LookaheadMode::Adaptive => extend_horizon(
@@ -1247,11 +1479,17 @@ fn run_parallel<S: ShardSim>(
             limit,
         ),
         LookaheadMode::Speculative => {
-            // Round one has nothing staged (`held = None`); the same pacer
-            // consultation order as the sequential driver keeps the two
-            // speculation schedules identical.
-            let gamble = spec_horizon(planned, None, epoch, limit);
-            if gamble > planned && !pacer.throttled() {
+            // Round one has nothing staged and no history, but the queues
+            // already hold their initial load — the same pacer consultation
+            // order (and the same load observable) as the sequential driver
+            // keeps the two speculation schedules identical.
+            let load = shards.iter().map(|s| s.pending_len()).sum::<u64>();
+            let gamble = pacer
+                .decide(load, 0, 0, 0, 0, epoch)
+                .map(|depth| spec_horizon(planned, None, epoch, limit, depth))
+                .unwrap_or(planned);
+            if gamble > planned {
+                outcome.spec_max_depth = (gamble - planned) / epoch;
                 initial_state = PLAN_SPEC;
                 gamble
             } else {
@@ -1272,6 +1510,7 @@ fn run_parallel<S: ShardSim>(
                 outbound: Mutex::new(Vec::new()),
                 thread: Mutex::new(None),
                 spec_min: AtomicU64::new(NO_EVENT),
+                pending: AtomicU64::new(0),
             })
             .collect(),
         router: Mutex::new(Router::new(shards.len())),
@@ -1294,6 +1533,7 @@ fn run_parallel<S: ShardSim>(
         spec_commits: AtomicU64::new(0),
         spec_rollbacks: AtomicU64::new(0),
         spec_reexec_cycles: AtomicU64::new(0),
+        spec_max_depth: AtomicU64::new(outcome.spec_max_depth),
         pacer: Mutex::new(pacer),
         epoch,
         max_cycles,
@@ -1320,6 +1560,7 @@ fn run_parallel<S: ShardSim>(
     outcome.spec_commits = shared.spec_commits.load(Ordering::Relaxed);
     outcome.spec_rollbacks = shared.spec_rollbacks.load(Ordering::Relaxed);
     outcome.spec_reexec_cycles = shared.spec_reexec_cycles.load(Ordering::Relaxed);
+    outcome.spec_max_depth = shared.spec_max_depth.load(Ordering::Relaxed);
     outcome.routed_events = shared.router.lock().unwrap().routed;
     outcome
 }
@@ -1430,7 +1671,7 @@ mod tests {
         type Msg = Ev;
         type Checkpoint = RingCheckpoint;
 
-        fn snapshot(&self, into: &mut Self::Checkpoint) {
+        fn snapshot(&mut self, into: &mut Self::Checkpoint) {
             into.hops_left.clone_from(&self.hops_left);
             into.sum.clone_from(&self.sum);
             into.seq.clone_from(&self.seq);
@@ -1517,6 +1758,10 @@ mod tests {
             self.events.peek_time()
         }
 
+        fn pending_len(&self) -> u64 {
+            self.events.len() as u64
+        }
+
         fn earliest_emission(&self) -> Option<Cycle> {
             self.forecast.iter().flatten().copied().min()
         }
@@ -1543,7 +1788,15 @@ mod tests {
         }
         let bounds: Vec<u32> = (0..shard_count).map(|s| s * per).collect();
         let shard_of = move |node: u32| -> usize { bounds.partition_point(|&b| b <= node) - 1 };
-        let outcome = run_epochs(&mut shards, &shard_of, LATENCY, Cycle::MAX, mode, lookahead);
+        let outcome = run_epochs(
+            &mut shards,
+            &shard_of,
+            LATENCY,
+            Cycle::MAX,
+            mode,
+            lookahead,
+            SpecTuning::default(),
+        );
         let mut sums = Vec::new();
         for shard in &shards {
             sums.extend_from_slice(&shard.sum);
@@ -1771,11 +2024,19 @@ mod tests {
         // Speculation executes the same event set on a different epoch grid:
         // a clean final gamble may run past the last event, so its cycle sum
         // can exceed the fixed grid's — only the *results* are pinned equal.
-        assert_eq!(spec.epochs, 35);
-        assert_eq!(spec.spec_commits, 31);
-        assert_eq!(spec.spec_rollbacks, 2);
-        assert_eq!(spec.spec_reexec_cycles, 2 * LATENCY);
-        assert_eq!(spec.extensions, 31, "every commit counts as an extension");
+        // The commit-streak deepening shows up here: after four consecutive
+        // commits the quiet ring's gambles double to 8 grid slots.
+        assert_eq!(spec.epochs, 34);
+        assert_eq!(spec.spec_commits, 26);
+        assert_eq!(spec.spec_rollbacks, 4);
+        assert_eq!(spec.spec_reexec_cycles, 5 * LATENCY);
+        assert_eq!(spec.extensions, 27);
+        assert_eq!(spec.max_epoch_len, 9 * LATENCY);
+        assert_eq!(spec.spec_max_depth, 8);
+        assert!(
+            spec.spec_max_depth > SPEC_DEPTH,
+            "the quiet ring must deepen past the baseline depth"
+        );
         assert!(
             spec.spec_commits + spec.spec_rollbacks <= spec.epochs,
             "every speculative round resolves into exactly one executed epoch"
@@ -1795,7 +2056,15 @@ mod tests {
                     RingShard::new(2, 2, 4, u64::MAX, 0),
                 ];
                 let shard_of = |node: u32| usize::from(node >= 2);
-                let outcome = run_epochs(&mut shards, &shard_of, LATENCY, 100, mode, lookahead);
+                let outcome = run_epochs(
+                    &mut shards,
+                    &shard_of,
+                    LATENCY,
+                    100,
+                    mode,
+                    lookahead,
+                    SpecTuning::default(),
+                );
                 assert!(
                     outcome.aborted,
                     "{mode:?} {lookahead}: an endless ring must hit the cycle limit"
@@ -1823,8 +2092,15 @@ mod tests {
                     shard.events.clear();
                 }
                 let shard_of = |node: u32| usize::from(node >= 2);
-                let outcome =
-                    run_epochs(&mut shards, &shard_of, LATENCY, Cycle::MAX, mode, lookahead);
+                let outcome = run_epochs(
+                    &mut shards,
+                    &shard_of,
+                    LATENCY,
+                    Cycle::MAX,
+                    mode,
+                    lookahead,
+                    SpecTuning::default(),
+                );
                 assert_eq!(outcome, EpochOutcome::empty(), "{mode:?} {lookahead}");
             }
         }
@@ -1859,6 +2135,7 @@ mod tests {
                 100,
                 ExecMode::Parallel,
                 LookaheadMode::Fixed,
+                SpecTuning::default(),
             )
         });
         assert!(result.is_err(), "the worker panic must propagate");

@@ -241,6 +241,11 @@ fn det_rng_is_deterministic_and_bounded() {
 /// `RESULTS.md`). Speculation is the mode built to beat exactly that —
 /// it gambles past the horizon and validates afterwards, committing most
 /// rounds and paying for the rest with re-executed cycles.
+///
+/// The speculative line pins the PR 9 observable-driven pacer (commit
+/// ratio, staged-plus-pending load, mean epoch length): any change to its
+/// decision function moves this exact gamble/commit/rollback/depth
+/// sequence, in both drivers, and fails loudly here.
 #[test]
 fn lookahead_epoch_schedules_are_pinned() {
     use cni::core::machine::{EpochOutcome, LookaheadMode, Machine, MachineConfig, ShardPolicy};
@@ -264,6 +269,7 @@ fn lookahead_epoch_schedules_are_pinned() {
                 spec_commits: 0,
                 spec_rollbacks: 0,
                 spec_reexec_cycles: 0,
+                spec_max_depth: 0,
             },
         ),
         (
@@ -280,6 +286,7 @@ fn lookahead_epoch_schedules_are_pinned() {
                 spec_commits: 0,
                 spec_rollbacks: 0,
                 spec_reexec_cycles: 0,
+                spec_max_depth: 0,
             },
         ),
         (
@@ -289,13 +296,14 @@ fn lookahead_epoch_schedules_are_pinned() {
                 exchanges: 17,
                 routed_events: 92,
                 aborted: false,
-                last_horizon: 5_500,
-                extensions: 9,
-                epoch_cycles: 5_200,
+                last_horizon: 5_100,
+                extensions: 7,
+                epoch_cycles: 4_600,
                 max_epoch_len: 5 * grid,
-                spec_commits: 8,
-                spec_rollbacks: 3,
-                spec_reexec_cycles: 600,
+                spec_commits: 6,
+                spec_rollbacks: 4,
+                spec_reexec_cycles: 700,
+                spec_max_depth: 4,
             },
         ),
     ];
@@ -334,6 +342,73 @@ fn lookahead_epoch_schedules_are_pinned() {
             "lookahead modes must stay bit-identical in results"
         );
     }
+}
+
+/// Incremental checkpoints are strictly cheaper than full clones on the
+/// same speculative run, and the post-commit trim keeps the event-queue
+/// delta journal's capacity bounded. Guards two regressions at once:
+/// (a) the dirty tracker silently degrading to copy-everything (the dirty
+/// fraction and peak bytes would jump back to the full-clone line), and
+/// (b) checkpoint buffers never shrinking after a large speculative phase.
+#[test]
+fn incremental_checkpoints_stay_cheaper_than_full_clones() {
+    use cni::core::machine::{
+        CheckpointStrategy, LookaheadMode, Machine, MachineConfig, ShardPolicy,
+    };
+    use cni::nic::NiKind;
+    use cni::sim::event::DELTA_TRIM_ENTRIES;
+    use cni::workloads::{Workload, WorkloadParams};
+
+    let params = WorkloadParams::tiny();
+    let run = |strategy: CheckpointStrategy| {
+        let cfg = MachineConfig::isca96(6, NiKind::Cni16Qm)
+            .with_shards(ShardPolicy::Fixed(2))
+            .with_lookahead(LookaheadMode::Speculative)
+            .with_checkpoint(strategy);
+        let mut machine = Machine::new(cfg.clone(), Workload::Appbt.programs(cfg.nodes, &params));
+        let report = machine.run();
+        assert!(report.completed, "{strategy:?}: run did not complete");
+        (report, machine.checkpoint_stats())
+    };
+
+    let (full_report, full) = run(CheckpointStrategy::Full);
+    let (incr_report, incr) = run(CheckpointStrategy::Incremental);
+    assert_eq!(
+        incr_report, full_report,
+        "checkpoint strategy must be invisible in results"
+    );
+
+    assert!(full.snapshots > 0, "the fixture must actually speculate");
+    assert_eq!(
+        incr.snapshots, full.snapshots,
+        "strategy must not change the gamble schedule"
+    );
+    // Full clones copy every node every snapshot; dirty tracking must not.
+    assert_eq!(full.dirty_fraction(), 1.0);
+    assert!(
+        incr.dirty_fraction() < 1.0,
+        "dirty tracking degraded to copy-everything: fraction {}",
+        incr.dirty_fraction()
+    );
+    assert!(
+        incr.bytes < full.bytes && incr.peak_bytes < full.peak_bytes,
+        "incremental snapshots must capture strictly fewer bytes \
+         ({} total / {} peak vs full's {} / {})",
+        incr.bytes,
+        incr.peak_bytes,
+        full.bytes,
+        full.peak_bytes
+    );
+    // The post-commit trim caps the delta journal's retained capacity.
+    assert!(
+        incr.journal_capacity <= DELTA_TRIM_ENTRIES as u64,
+        "delta journal capacity {} escaped the {DELTA_TRIM_ENTRIES}-entry trim",
+        incr.journal_capacity
+    );
+    assert_eq!(
+        full.journal_capacity, 0,
+        "the full strategy must not touch the delta journal"
+    );
 }
 
 /// Zero-rate transparency: with every fault rate at 0.0 (the default), the
