@@ -1,0 +1,36 @@
+//! The tail-latency sweep: every RPC service workload × every NI on the
+//! memory bus, reporting deterministic integer p50/p99/p99.9/max from the
+//! merged per-node request-latency histograms — the figure of merit the
+//! paper's throughput benchmarks don't expose. A thin front-end over
+//! [`cni_bench::campaign::figures::latency_campaign`].
+//!
+//! Run with `cargo run --release -p cni-bench --bin latency --
+//! [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] [--cache DIR]
+//! [--json]`.
+
+use cni_bench::campaign::figures::{latency_campaign, render_markdown};
+use cni_bench::campaign::{run_campaign, set_json};
+use cni_bench::cli::{usage_error, CampaignCli};
+
+const USAGE: &str = "latency [quick|scaled|paper] [--jobs N] [--cold] [--no-cache] \
+                     [--cache DIR] [--json] [--backend heap|wheel (implies --cold)]";
+
+fn main() {
+    let cli = CampaignCli::parse(USAGE);
+    cli.reject_rest(USAGE);
+    if !cli.workloads.is_empty() {
+        usage_error(
+            USAGE,
+            "latency sweeps every registered service workload; it takes no --workload",
+        );
+    }
+    let campaign = latency_campaign(cli.tier);
+    let run = run_campaign(&campaign, &cli.run_options());
+    if cli.json {
+        println!("{}", set_json(&run, "latency", ""));
+        return;
+    }
+    println!("## {}\n", run.campaigns[0].title);
+    print!("{}", render_markdown(&run.campaigns[0]));
+    println!("\n{}", CampaignCli::summary_line(&run));
+}

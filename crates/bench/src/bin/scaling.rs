@@ -52,6 +52,7 @@ use std::time::Instant;
 use cni_bench::report_digest;
 use cni_core::machine::{
     CheckpointStrategy, LookaheadMode, Machine, MachineConfig, RunReport, ShardPolicy,
+    SpeculationConfig,
 };
 use cni_nic::taxonomy::NiKind;
 use cni_workloads::{Workload, WorkloadParams};
@@ -154,8 +155,11 @@ fn run_policy(
     let cfg = MachineConfig::isca96(nodes, NiKind::Cni512Q)
         .with_shards(policy)
         .with_parallel(parallel)
-        .with_lookahead(lookahead)
-        .with_checkpoint(checkpoint);
+        .with_speculation(SpeculationConfig {
+            lookahead,
+            checkpoint,
+            ..SpeculationConfig::default()
+        });
     let shards = cfg.shard_count();
     let mode = match (policy, cfg.exec_parallel()) {
         (ShardPolicy::Auto, true) => "auto+",

@@ -12,6 +12,7 @@
 //! | Epoch-planner lookahead statistics    | [`lookahead_campaign`] | [`render_markdown`] |
 //! | §2.2 CQ-optimisation ablation         | [`ablation_campaign`] | [`render_markdown`] |
 //! | Resilience sweep (fault injection)    | [`resilience_campaign`] | [`render_markdown`] |
+//! | Tail latency (service workloads)      | [`latency_campaign`] | [`render_markdown`] |
 //! | Table 1 (taxonomy, §3)                | [`taxonomy_campaign`] | [`render_markdown`] |
 //!
 //! Definitions and renderers share the layout functions in this module, so
@@ -443,6 +444,47 @@ pub fn resilience_campaign(tier: ParamsTier) -> Campaign {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tail latency
+// ---------------------------------------------------------------------------
+
+/// The workloads the tail-latency sweep covers: every
+/// [`WorkloadClass::Service`] entry in the registry, so a new RPC variant
+/// joins the campaign (and `RESULTS.md`) the moment it is registered.
+pub fn latency_workloads() -> Vec<Workload> {
+    Workload::ALL
+        .into_iter()
+        .filter(|w| w.class() == WorkloadClass::Service)
+        .collect()
+}
+
+/// The tail-latency sweep: every service workload × every NI on the memory
+/// bus, reporting deterministic integer p50/p99/p99.9/max from the merged
+/// per-node request-latency histograms — the figure of merit the paper's
+/// throughput benchmarks don't expose. One cell per (workload, NI).
+pub fn latency_campaign(tier: ParamsTier) -> Campaign {
+    let nodes = tier.nodes();
+    let workloads = latency_workloads();
+    let mut cells = Vec::new();
+    for &workload in &workloads {
+        for ni in NiKind::ALL {
+            cells.push(ExperimentSpec::Service {
+                workload,
+                ni,
+                nodes,
+                tier,
+            });
+        }
+    }
+    Campaign {
+        name: "latency",
+        title: "Tail latency — RPC service workloads, deterministic histograms".to_owned(),
+        tier,
+        workloads,
+        cells,
+    }
+}
+
 /// Every campaign `report` runs, in `RESULTS.md` order.
 pub fn report_campaigns(tier: ParamsTier, workloads: &[Workload]) -> Vec<Campaign> {
     vec![
@@ -453,6 +495,7 @@ pub fn report_campaigns(tier: ParamsTier, workloads: &[Workload]) -> Vec<Campaig
         lookahead_campaign(tier, workloads),
         ablation_campaign(tier),
         resilience_campaign(tier),
+        latency_campaign(tier),
         taxonomy_campaign(tier),
     ]
 }
@@ -890,6 +933,54 @@ fn render_resilience(run: &CampaignRun) -> String {
     out
 }
 
+fn render_latency(run: &CampaignRun) -> String {
+    let cells = parsed_cells(run);
+    let mut out = format!(
+        "End-to-end request latency of the RPC service workloads — every NI on \
+         the memory bus, {} nodes, `{}` inputs. Quantiles are integer cycle \
+         counts read from the machine-total log-bucketed histogram (power-of-two \
+         buckets, nearest-rank, clamped to the exact recorded maximum), merged \
+         from the per-node histograms with the associative `Merge` — so every \
+         number is bit-identical across shard counts, executor modes and \
+         lookahead modes.\n",
+        run.tier.nodes(),
+        run.tier
+    );
+    // Cells are (workload, ni)-major; one table per workload, NIs down.
+    let mut index = 0;
+    for &workload in &run.workloads {
+        out.push_str(&format!("\n### {workload}\n\n"));
+        let header: Vec<String> = ["NI", "requests", "p50", "p99", "p99.9", "max", "run cycles"]
+            .map(str::to_owned)
+            .to_vec();
+        let rows: Vec<Vec<String>> = NiKind::ALL
+            .iter()
+            .map(|ni| {
+                let cell = &cells[index];
+                index += 1;
+                vec![
+                    ni.to_string(),
+                    format!("{:.0}", cell.num("requests")),
+                    format!("{:.0}", cell.num("p50")),
+                    format!("{:.0}", cell.num("p99")),
+                    format!("{:.0}", cell.num("p999")),
+                    format!("{:.0}", cell.num("max")),
+                    format!("{:.0}", cell.num("cycles")),
+                ]
+            })
+            .collect();
+        md_table(&mut out, &header, &rows);
+    }
+    out.push_str(
+        "\nLatencies are in simulated cycles (5 ns at the paper's 200 MHz). \
+         `rpc-closed` is a closed loop (fixed clients, think time between \
+         requests); `rpc-open` is an open loop (deterministic Poisson-like \
+         arrivals), so its tail also pays queueing delay when service is slower \
+         than the arrival rate.\n",
+    );
+    out
+}
+
 fn render_taxonomy(run: &CampaignRun) -> String {
     let cells = parsed_cells(run);
     let rows_json = cells[0].get("rows").and_then(Json::as_array).unwrap_or(&[]);
@@ -1007,6 +1098,7 @@ pub fn render_markdown(run: &CampaignRun) -> String {
         "lookahead" => render_lookahead(run),
         "ablation" => render_ablation(run),
         "resilience" => render_resilience(run),
+        "latency" => render_latency(run),
         "taxonomy" => render_taxonomy(run),
         other => panic!("no renderer for campaign {other:?}"),
     }
@@ -1059,7 +1151,10 @@ mod tests {
         // 3 sizes × (6 mem incl. snarf + 4 io + 3 alternate) series.
         assert_eq!(fig7.cells.len(), 3 * 13);
         let workloads = Workload::ALL.len();
-        assert!(workloads >= 13, "8 paper benchmarks + 5 synthetic patterns");
+        assert!(
+            workloads >= 15,
+            "8 paper benchmarks + 5 synthetic patterns + 2 service workloads"
+        );
         let fig8 = fig8_campaign(ParamsTier::Quick, &Workload::ALL);
         // Every workload × (5 + 4 + 3) panel columns + one explicit
         // baseline per workload.
@@ -1078,6 +1173,13 @@ mod tests {
         assert_eq!(
             resilience_campaign(ParamsTier::Scaled).cells.len(),
             3 * 5 * 5
+        );
+        // Every registered service workload × 5 NIs.
+        let service = latency_workloads();
+        assert_eq!(service.len(), 2, "two RPC disciplines registered");
+        assert_eq!(
+            latency_campaign(ParamsTier::Quick).cells.len(),
+            service.len() * 5
         );
         assert_eq!(taxonomy_campaign(ParamsTier::Quick).cells.len(), 1);
     }

@@ -17,7 +17,7 @@
 //! disk and compared across executor modes.
 
 use cni_core::digest::{fnv64_of_str, Fnv64};
-use cni_core::machine::{LookaheadMode, MachineConfig, ShardPolicy};
+use cni_core::machine::{LookaheadMode, MachineConfig, ShardPolicy, SpeculationConfig};
 use cni_core::micro::{round_trip_latency, stream_bandwidth, BandwidthParams, LatencyParams};
 use cni_mem::system::DeviceLocation;
 use cni_mem::timing::TimingConfig;
@@ -25,6 +25,7 @@ use cni_net::faults::FaultConfig;
 use cni_nic::cq_model::CqOptimizations;
 use cni_nic::taxonomy::{NiKind, QueueHome, QueuePointers};
 use cni_sim::event::QueueBackend;
+use cni_sim::stats::{LatencyHistogram, Merge};
 use cni_workloads::{ParamsTier, Workload};
 
 use crate::{report_digest, run_workload_checkpointed, run_workload_outcome, run_workload_report};
@@ -130,6 +131,24 @@ pub enum ExperimentSpec {
         /// Loss intensity in parts per million (the `lossy` preset derives
         /// corruption, duplication and delay rates from it).
         fault_ppm: u32,
+        /// Machine size in nodes.
+        nodes: usize,
+        /// Input-size tier.
+        tier: ParamsTier,
+    },
+    /// One tail-latency service run: a [`cni_workloads::WorkloadClass::Service`]
+    /// workload (closed- or open-loop RPC) on an `nodes`-node machine with
+    /// `ni` on the memory bus. The result carries the run cycles plus the
+    /// machine-total latency histogram's deterministic integer quantiles
+    /// (p50/p99/p99.9/max) — merged from the per-node
+    /// [`cni_core::machine::NodeStats::request_latency`] histograms, which
+    /// compose bit-identically across shard counts, executor modes and
+    /// lookahead modes.
+    Service {
+        /// The service workload.
+        workload: Workload,
+        /// Network interface.
+        ni: NiKind,
         /// Machine size in nodes.
         nodes: usize,
         /// Input-size tier.
@@ -251,6 +270,14 @@ impl ExperimentSpec {
                 tier,
             } => format!(
                 r#"{{"kind":"resilience","workload":"{workload}","ni":"{ni}","fault_ppm":{fault_ppm},"fault_seed":{RESILIENCE_FAULT_SEED},"nodes":{nodes},"tier":"{tier}"}}"#
+            ),
+            ExperimentSpec::Service {
+                workload,
+                ni,
+                nodes,
+                tier,
+            } => format!(
+                r#"{{"kind":"service","workload":"{workload}","ni":"{ni}","location":"memory","nodes":{nodes},"tier":"{tier}"}}"#
             ),
             ExperimentSpec::Speculation {
                 workload,
@@ -408,6 +435,31 @@ impl ExperimentSpec {
                     report_digest(&report)
                 )
             }
+            ExperimentSpec::Service {
+                workload,
+                ni,
+                nodes,
+                tier,
+            } => {
+                let cfg = tune(MachineConfig::for_bus(nodes, ni, DeviceLocation::MemoryBus));
+                let report = run_workload_report(workload, &cfg, &tier.params());
+                // Quantiles come from the machine-total histogram, merged
+                // from the per-node histograms with the associative
+                // [`Merge`] — the same integers whatever the shard count,
+                // executor mode or lookahead mode (invariant 7).
+                let hist =
+                    LatencyHistogram::merged(report.node_stats.iter().map(|s| s.request_latency));
+                format!(
+                    r#"{{"cycles":{},"requests":{},"p50":{},"p99":{},"p999":{},"max":{},"report_digest":"{:016x}"}}"#,
+                    report.cycles,
+                    hist.count(),
+                    hist.quantile_permille(500),
+                    hist.quantile_permille(990),
+                    hist.quantile_permille(999),
+                    hist.max(),
+                    report_digest(&report)
+                )
+            }
             ExperimentSpec::Speculation {
                 workload,
                 ni,
@@ -415,7 +467,9 @@ impl ExperimentSpec {
                 tier,
             } => {
                 let cfg = tune(MachineConfig::for_bus(nodes, ni, DeviceLocation::MemoryBus))
-                    .with_lookahead(LookaheadMode::Speculative);
+                    .with_speculation(SpeculationConfig::with_lookahead(
+                        LookaheadMode::Speculative,
+                    ));
                 let (report, outcome, ckpt) =
                     run_workload_checkpointed(workload, &cfg, &tier.params());
                 // The digest must match the conservative Macro cell for the
@@ -513,6 +567,12 @@ impl ExperimentSpec {
                 nodes,
                 tier,
             } => format!("resilience/{workload}/{ni}/{fault_ppm}ppm/{nodes}n/{tier}"),
+            ExperimentSpec::Service {
+                workload,
+                ni,
+                nodes,
+                tier,
+            } => format!("service/{workload}/{ni}/{nodes}n/{tier}"),
             ExperimentSpec::Speculation {
                 workload,
                 ni,
@@ -605,6 +665,12 @@ mod tests {
                 workload: Workload::Em3d,
                 ni: NiKind::Cni512Q,
                 fault_ppm: 20_000,
+                nodes: 8,
+                tier: ParamsTier::Quick,
+            },
+            ExperimentSpec::Service {
+                workload: Workload::RpcClosed,
+                ni: NiKind::Cni16Q,
                 nodes: 8,
                 tier: ParamsTier::Quick,
             },

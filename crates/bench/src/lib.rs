@@ -27,6 +27,7 @@
 //! | §2.2 CQ ablation                   | [`campaign::figures::ablation_campaign`]  | `cargo run --release -p cni-bench --bin ablation` |
 //! | Table 1 (taxonomy)                 | [`campaign::figures::taxonomy_campaign`]  | `cargo run --release -p cni-bench --bin taxonomy` |
 //! | Resilience sweep (beyond the paper) | [`campaign::figures::resilience_campaign`] | `cargo run --release -p cni-bench --bin resilience` |
+//! | Tail-latency sweep (beyond the paper) | [`campaign::figures::latency_campaign`] | `cargo run --release -p cni-bench --bin latency` |
 //!
 //! This crate root keeps only the shared primitives the campaigns, the
 //! harness binaries and the Criterion benches build on: the figure size

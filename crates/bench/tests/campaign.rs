@@ -9,7 +9,7 @@
 use std::path::PathBuf;
 
 use cni_bench::campaign::figures::{
-    ablation_campaign, fig8_campaign, render_markdown, resilience_campaign,
+    ablation_campaign, fig8_campaign, latency_campaign, render_markdown, resilience_campaign,
 };
 use cni_bench::campaign::{
     run_campaign, run_campaigns, CacheMode, Campaign, ExperimentSpec, RunOptions,
@@ -307,6 +307,40 @@ fn resilience_section_is_byte_identical_across_executor_modes() {
     assert_eq!(cold_seq, cold_par, "jobs=1 vs jobs=8 diverged");
     assert_eq!(cold_seq, warm, "cold vs warm diverged");
     assert!(cold_seq.contains("### Fault accounting"), "{cold_seq}");
+}
+
+/// The acceptance gate for the tail-latency sweep: the rendered section is
+/// byte-identical across `--jobs 1`, parallel, warm-cache and cold runs, and
+/// its quantiles are the same integers wherever they were computed.
+#[test]
+fn latency_section_is_byte_identical_across_executor_modes() {
+    let scratch = ScratchCache::new("latency");
+    let campaign = latency_campaign(ParamsTier::Quick);
+    let render = |opts: &RunOptions| {
+        let run = run_campaign(&campaign, opts);
+        render_markdown(&run.campaigns[0])
+    };
+    // Cold sequential, cold parallel, then warm: all the same bytes.
+    let cold_seq = render(&RunOptions {
+        jobs: 1,
+        cache: CacheMode::WriteOnly(scratch.dir.clone()),
+        ..RunOptions::default()
+    });
+    let cold_par = render(&RunOptions {
+        jobs: 8,
+        cache: CacheMode::Disabled,
+        ..RunOptions::default()
+    });
+    let warm = render(&RunOptions {
+        jobs: 4,
+        cache: CacheMode::ReadWrite(scratch.dir.clone()),
+        ..RunOptions::default()
+    });
+    assert_eq!(cold_seq, cold_par, "jobs=1 vs jobs=8 diverged");
+    assert_eq!(cold_seq, warm, "cold vs warm diverged");
+    assert!(cold_seq.contains("### rpc-closed"), "{cold_seq}");
+    assert!(cold_seq.contains("### rpc-open"), "{cold_seq}");
+    assert!(cold_seq.contains("| p99.9 |"), "{cold_seq}");
 }
 
 #[test]

@@ -135,6 +135,39 @@ fn host_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// The epoch driver's speculation knobs, grouped.
+///
+/// All three are simulator-performance knobs: simulated results are
+/// bit-identical under every combination (determinism invariants 6 and 7).
+/// Grouping them keeps [`MachineConfig`]'s builder surface flat — one
+/// [`MachineConfig::with_speculation`] call configures the whole planner —
+/// and gives campaign/scaling code a single value to sweep.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeculationConfig {
+    /// How the epoch driver plans its horizons: fixed one-latency epochs,
+    /// (the default) adaptive extension from the shards' traffic
+    /// forecasts, or speculative execution past the horizon with rollback.
+    pub lookahead: LookaheadMode,
+    /// How shards capture speculative checkpoints (full clone vs
+    /// dirty-tracked incremental).
+    pub checkpoint: CheckpointStrategy,
+    /// Speculation pacer tuning. All observables are globally merged, so
+    /// any tuning keeps the gamble schedule identical across shard counts
+    /// and execution modes.
+    pub pacer: SpecTuning,
+}
+
+impl SpeculationConfig {
+    /// The default planner with a different lookahead mode — the common
+    /// case for callers that only care about fixed/adaptive/speculative.
+    pub fn with_lookahead(lookahead: LookaheadMode) -> Self {
+        SpeculationConfig {
+            lookahead,
+            ..Self::default()
+        }
+    }
+}
+
 /// Configuration of a simulated parallel machine (§4.1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
@@ -181,19 +214,11 @@ pub struct MachineConfig {
     /// entirely: the machine takes its historical code path and every
     /// simulated result stays byte-identical.
     pub faults: FaultConfig,
-    /// How the epoch driver plans its horizons: fixed one-latency epochs or
-    /// (the default) adaptive extension from the shards' traffic forecasts.
-    /// A simulator-performance knob like [`MachineConfig::shards`]:
-    /// simulated results are bit-identical under either mode.
-    pub lookahead: LookaheadMode,
-    /// How shards capture speculative checkpoints (full clone vs
-    /// dirty-tracked incremental). Simulator-performance knob: simulated
-    /// results are bit-identical across strategies.
-    pub checkpoint: CheckpointStrategy,
-    /// Speculation pacer tuning. All observables are globally merged, so
-    /// any tuning keeps the gamble schedule identical across shard counts
-    /// and execution modes.
-    pub pacer: SpecTuning,
+    /// The epoch driver's grouped speculation knobs (lookahead mode,
+    /// checkpoint strategy, pacer tuning). Simulator-performance knobs
+    /// like [`MachineConfig::shards`]: simulated results are bit-identical
+    /// under every combination.
+    pub speculation: SpeculationConfig,
 }
 
 impl MachineConfig {
@@ -220,9 +245,7 @@ impl MachineConfig {
             shards: ShardPolicy::default(),
             parallel: false,
             faults: FaultConfig::default(),
-            lookahead: LookaheadMode::default(),
-            checkpoint: CheckpointStrategy::default(),
-            pacer: SpecTuning::default(),
+            speculation: SpeculationConfig::default(),
         }
     }
 
@@ -319,26 +342,37 @@ impl MachineConfig {
         self
     }
 
+    /// Returns a copy with the epoch driver's speculation knobs — lookahead
+    /// mode, checkpoint strategy and pacer tuning — set in one call. The
+    /// preferred entry point; the per-knob setters below are thin shims
+    /// over it.
+    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
     /// Returns a copy using the given lookahead mode (simulator-performance
-    /// knob; simulated results are bit-identical under either mode).
+    /// knob; simulated results are bit-identical under every mode). Shim
+    /// over [`MachineConfig::with_speculation`].
     pub fn with_lookahead(mut self, lookahead: LookaheadMode) -> Self {
-        self.lookahead = lookahead;
+        self.speculation.lookahead = lookahead;
         self
     }
 
     /// Returns a copy using the given checkpoint strategy
     /// (simulator-performance knob; simulated results are bit-identical
-    /// across strategies).
+    /// across strategies). Shim over [`MachineConfig::with_speculation`].
     pub fn with_checkpoint(mut self, strategy: CheckpointStrategy) -> Self {
-        self.checkpoint = strategy;
+        self.speculation.checkpoint = strategy;
         self
     }
 
     /// Returns a copy using the given speculation pacer tuning
     /// (simulator-performance knob; the gamble schedule stays identical
-    /// across shard counts and execution modes for any tuning).
+    /// across shard counts and execution modes for any tuning). Shim over
+    /// [`MachineConfig::with_speculation`].
     pub fn with_pacer(mut self, pacer: SpecTuning) -> Self {
-        self.pacer = pacer;
+        self.speculation.pacer = pacer;
         self
     }
 

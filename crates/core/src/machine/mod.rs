@@ -30,7 +30,7 @@
 //! [`MachineConfig::with_parallel`], on a persistent worker pool (one
 //! worker per shard) that rendezvouses at atomic epoch barriers and skips
 //! the cross-shard exchange for epochs that emitted no traffic. Under the
-//! default adaptive lookahead ([`MachineConfig::lookahead`]) the planner
+//! default adaptive lookahead ([`SpeculationConfig::lookahead`]) the planner
 //! additionally stretches epochs past the one-latency grid using each
 //! shard's conservative traffic forecast
 //! ([`cni_sim::sharded::ShardSim::earliest_emission`] — for a machine
@@ -81,10 +81,11 @@ mod shard;
 
 use cni_net::fabric::{Fabric, FabricStats};
 use cni_sim::sharded::{run_epochs, ExecMode};
+use cni_sim::stats::Merge;
 use cni_sim::time::Cycle;
 
 pub use cni_sim::sharded::{EpochOutcome, LookaheadMode, SpecTuning};
-pub use config::{CheckpointStrategy, MachineConfig, ShardPolicy};
+pub use config::{CheckpointStrategy, MachineConfig, ShardPolicy, SpeculationConfig};
 pub use node::{NodeCore, NodeStats, ReliableState};
 pub use program::{IdleProgram, ProcCtx, Program};
 pub use shard::{CheckpointStats, ShardCheckpoint};
@@ -330,8 +331,8 @@ impl Machine {
             epoch,
             self.cfg.max_cycles,
             mode,
-            self.cfg.lookahead,
-            self.cfg.pacer,
+            self.cfg.speculation.lookahead,
+            self.cfg.speculation.pacer,
         );
         self.outcome = Some(outcome);
         self.report()

@@ -12,6 +12,7 @@ use cni_nic::cniq::CniQDevice;
 use cni_nic::device::NiDevice;
 use cni_nic::ni2w::Ni2wDevice;
 use cni_nic::taxonomy::NiKind;
+use cni_sim::stats::{LatencyHistogram, Merge};
 use cni_sim::time::Cycle;
 
 use crate::msg::{AmMessage, Assembler, FragArena, FragPayload, OutgoingBuffer};
@@ -116,6 +117,27 @@ pub struct NodeStats {
     pub send_full_retries: u64,
     /// Messages sent node-locally (same interface, no network).
     pub local_messages: u64,
+    /// End-to-end request latencies recorded by service programs via
+    /// [`crate::machine::ProcCtx::record_request_latency`]. Empty for
+    /// workloads that never record one; included in [`Merge`] and the
+    /// report's equality, so the cross-shard/lookahead bit-identity tests
+    /// cover it for free.
+    pub request_latency: LatencyHistogram,
+}
+
+impl Merge for NodeStats {
+    fn merge(&mut self, other: &Self) {
+        self.sent_messages += other.sent_messages;
+        self.sent_bytes += other.sent_bytes;
+        self.sent_fragments += other.sent_fragments;
+        self.received_fragments += other.received_fragments;
+        self.received_messages += other.received_messages;
+        self.received_bytes += other.received_bytes;
+        self.compute_cycles += other.compute_cycles;
+        self.send_full_retries += other.send_full_retries;
+        self.local_messages += other.local_messages;
+        self.request_latency.merge(&other.request_latency);
+    }
 }
 
 /// The runtime state of one simulated node.

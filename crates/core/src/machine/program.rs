@@ -119,6 +119,21 @@ impl<'a> ProcCtx<'a> {
         self.node.stats.compute_cycles += cycles;
     }
 
+    /// Records one completed request's end-to-end latency into this node's
+    /// deterministic tail-latency histogram
+    /// ([`super::NodeStats::request_latency`]).
+    ///
+    /// Service programs call this on the client node when a response
+    /// arrives, with `cycles = ctx.now() - send_cycle` (the send cycle
+    /// travels inside the request payload and is echoed back by the
+    /// server). Recording happens inside event dispatch of this node, so
+    /// the dirty-tracking mutation contract holds and the histogram is
+    /// covered by every cross-shard/lookahead bit-identity check on
+    /// [`super::RunReport`].
+    pub fn record_request_latency(&mut self, cycles: Cycle) {
+        self.node.stats.request_latency.record(cycles);
+    }
+
     /// Sends a user message to `dst`.
     ///
     /// The message is fragmented into 256-byte network messages and buffered;

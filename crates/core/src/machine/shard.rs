@@ -19,6 +19,7 @@ use cni_nic::device::{DeliverOutcome, SendOutcome};
 use cni_nic::frag::FragRef;
 use cni_sim::event::EventQueue;
 use cni_sim::sharded::{Outbox, ShardSim, Stamp};
+use cni_sim::stats::Merge;
 use cni_sim::time::Cycle;
 
 use crate::msg::FragPayload;
@@ -178,7 +179,7 @@ impl MachineShard {
             emitting_pending: 0,
             retx_emits: cfg.faults.enabled() && cfg.faults.retransmit,
             dirty,
-            strategy: cfg.checkpoint,
+            strategy: cfg.speculation.checkpoint,
             ckpt_stats: CheckpointStats::default(),
         }
     }
@@ -848,10 +849,10 @@ pub struct CheckpointStats {
     pub journal_capacity: u64,
 }
 
-impl CheckpointStats {
+impl Merge for CheckpointStats {
     /// Folds another shard's accounting into this one (sums, except the
     /// capacity highwater marks, which take the max).
-    pub fn merge(&mut self, other: &CheckpointStats) {
+    fn merge(&mut self, other: &Self) {
         self.snapshots += other.snapshots;
         self.copied_nodes += other.copied_nodes;
         self.node_rounds += other.node_rounds;
@@ -859,7 +860,9 @@ impl CheckpointStats {
         self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
         self.journal_capacity = self.journal_capacity.max(other.journal_capacity);
     }
+}
 
+impl CheckpointStats {
     /// Fraction of node state the snapshots actually copied (1.0 for the
     /// full strategy, activity-proportional for the incremental one).
     pub fn dirty_fraction(&self) -> f64 {

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use cni_sim::stats::Merge;
 use cni_sim::time::Cycle;
 
 use crate::message::{NetMessage, NodeId, NET_MESSAGE_BYTES};
@@ -26,7 +27,7 @@ pub struct Delivery<P> {
 ///
 /// Counters are purely additive, so a sharded machine accumulates one
 /// `FabricStats` per shard (no shared mutable fabric on the hot path) and
-/// [`FabricStats::merge`]s them at reporting time; the merged totals are
+/// [`Merge::merge`]s them at reporting time; the merged totals are
 /// identical to what a single shared fabric would have counted.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FabricStats {
@@ -54,9 +55,8 @@ pub struct FabricStats {
     pub timeouts: u64,
 }
 
-impl FabricStats {
-    /// Adds `other`'s counters into `self` (shard-stats aggregation).
-    pub fn merge(&mut self, other: &FabricStats) {
+impl Merge for FabricStats {
+    fn merge(&mut self, other: &Self) {
         self.messages += other.messages;
         self.wire_bytes += other.wire_bytes;
         self.payload_bytes += other.payload_bytes;
@@ -65,15 +65,6 @@ impl FabricStats {
         self.dup_discards += other.dup_discards;
         self.retransmits += other.retransmits;
         self.timeouts += other.timeouts;
-    }
-
-    /// Merged copy of an iterator of per-shard statistics.
-    pub fn merged(parts: impl IntoIterator<Item = FabricStats>) -> FabricStats {
-        let mut total = FabricStats::default();
-        for part in parts {
-            total.merge(&part);
-        }
-        total
     }
 }
 

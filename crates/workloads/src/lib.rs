@@ -21,7 +21,11 @@
 //! traffic patterns (uniform-random, hotspot, nearest-neighbour ring,
 //! all-to-all, bursty on/off) through the same [`Program`] interface, so
 //! NI results can be checked against the whole pattern space, not just the
-//! application sample.
+//! application sample. The [`rpc`] module adds two latency-sensitive
+//! request/response service workloads (closed-loop with think time,
+//! open-loop with deterministic Poisson-like arrivals) whose figure of
+//! merit is the end-to-end tail-latency histogram rather than bulk
+//! speedup.
 //!
 //! Every workload is deterministic for a given seed and node count, and
 //! every workload's full paper-scale input is available alongside a
@@ -40,6 +44,7 @@ pub mod em3d;
 pub mod gauss;
 pub mod moldyn;
 pub mod registry;
+pub mod rpc;
 pub mod spsolve;
 pub mod synthetic;
 pub mod unstructured;
@@ -47,4 +52,5 @@ pub mod unstructured;
 pub use registry::{
     ParamsTier, UnknownTier, UnknownWorkload, Workload, WorkloadClass, WorkloadParams,
 };
+pub use rpc::{RpcMode, RpcParams};
 pub use synthetic::{SyntheticParams, SyntheticPattern};

@@ -617,6 +617,98 @@ fn speculative_rollback_survives_outages_and_inert_timers() {
     }
 }
 
+/// The service workloads' figure of merit — the tail of the merged
+/// request-latency histogram — is part of the determinism contract, not just
+/// a by-product of report equality. For both RPC disciplines across every NI
+/// kind with randomized machine/shard shapes, the 1-shard sequential
+/// reference, sequential N-shard, parallel N-shard and `Auto` layouts must
+/// agree on the full `RunReport` *and* explicitly on p50/p99/p99.9 read from
+/// the machine-total histogram; a speculative-lookahead run must match too,
+/// with speculation proven to have actually resolved rounds.
+#[test]
+fn rpc_tail_latencies_shard_bit_identically() {
+    use cni::core::machine::{LookaheadMode, RunReport};
+    use cni::sim::stats::{LatencyHistogram, Merge};
+
+    fn tail(report: &RunReport) -> (u64, u64, u64) {
+        let hist = LatencyHistogram::merged(report.node_stats.iter().map(|s| s.request_latency));
+        (
+            hist.quantile_permille(500),
+            hist.quantile_permille(990),
+            hist.quantile_permille(999),
+        )
+    }
+
+    let mut rng = DetRng::new(0x59C0_7A11);
+    for kind in NiKind::ALL {
+        for workload in [Workload::RpcClosed, Workload::RpcOpen] {
+            let nodes = 4 + rng.gen_index(7); // 4..=10
+            let shards = 2 + rng.gen_index(3); // 2..=4
+            let params = WorkloadParams::tiny();
+            let case = format!("{kind}/{workload}: {nodes} nodes, {shards} shards");
+
+            let reference = run(
+                MachineConfig::isca96(nodes, kind).with_shards(ShardPolicy::Single),
+                workload,
+                &params,
+            );
+            assert!(reference.completed, "{case}: reference did not complete");
+            let hist =
+                LatencyHistogram::merged(reference.node_stats.iter().map(|s| s.request_latency));
+            assert!(
+                hist.count() > 0,
+                "{case}: the run must record request latencies"
+            );
+            let reference_tail = tail(&reference);
+
+            let layouts: [(&str, MachineConfig); 3] = [
+                (
+                    "sequential N-shard",
+                    MachineConfig::isca96(nodes, kind).with_shards(ShardPolicy::Fixed(shards)),
+                ),
+                (
+                    "parallel N-shard",
+                    MachineConfig::isca96(nodes, kind)
+                        .with_shards(ShardPolicy::Fixed(shards))
+                        .with_parallel(true),
+                ),
+                (
+                    "Auto",
+                    MachineConfig::isca96(nodes, kind).with_shards(ShardPolicy::Auto),
+                ),
+            ];
+            for (label, cfg) in layouts {
+                let report = run(cfg, workload, &params);
+                assert_eq!(report, reference, "{case}: {label} run diverged");
+                assert_eq!(
+                    tail(&report),
+                    reference_tail,
+                    "{case}: {label} run changed the latency tail"
+                );
+            }
+
+            let (speculative, outcome) = run_with_outcome(
+                MachineConfig::isca96(nodes, kind)
+                    .with_shards(ShardPolicy::Fixed(shards))
+                    .with_parallel(true)
+                    .with_lookahead(LookaheadMode::Speculative),
+                workload,
+                &params,
+            );
+            assert_eq!(speculative, reference, "{case}: speculative run diverged");
+            assert_eq!(
+                tail(&speculative),
+                reference_tail,
+                "{case}: speculation changed the latency tail"
+            );
+            assert!(
+                outcome.spec_commits + outcome.spec_rollbacks > 0,
+                "{case}: speculation never resolved a round"
+            );
+        }
+    }
+}
+
 /// `NodesPerShard` partitions (the "contiguous node group" policy) behave
 /// exactly like their `Fixed` equivalents.
 #[test]
